@@ -1,0 +1,526 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation section, plus the ablations called out in DESIGN.md and
+   Bechamel micro-benchmarks of the computational kernels.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe table2     -- one experiment
+     (table2 | table3 | fig4 | fig5 | fig6 | ablation | micro) *)
+
+open Microfluidics
+module Syn = Cohls.Synthesis
+
+let fmt = Format.std_formatter
+
+let section title =
+  Format.fprintf fmt "@.=== %s ===@." title
+
+(* ---------------------------------------------------------------- cases *)
+
+type case = {
+  label : string;
+  assay : Assay.t Lazy.t;
+  ops : int;
+  indets : int;
+  paper_conv : string; (* the paper's reported numbers, for side-by-side *)
+  paper_ours : string;
+}
+
+let cases =
+  [
+    {
+      label = "1 [10] kinase";
+      assay = lazy (Assays.Kinase.testcase ());
+      ops = 16;
+      indets = 0;
+      paper_conv = "225m, 3D, 3P";
+      paper_ours = "220m, 2D, 2P";
+    };
+    {
+      label = "2 [7] gene-expr";
+      assay = lazy (Assays.Gene_expression.testcase ());
+      ops = 70;
+      indets = 10;
+      paper_conv = "277m+I1, 24D, 82P";
+      paper_ours = "244m+I1, 21D, 33P";
+    };
+    {
+      label = "3 [17] rt-qpcr";
+      assay = lazy (Assays.Rt_qpcr.testcase ());
+      ops = 120;
+      indets = 20;
+      paper_conv = "603m+I1+I2, 24D, 95P";
+      paper_ours = "492m+I1+I2, 24D, 85P";
+    };
+  ]
+
+let results = Hashtbl.create 8
+
+let run_case case =
+  match Hashtbl.find_opt results case.label with
+  | Some r -> r
+  | None ->
+    let assay = Lazy.force case.assay in
+    let ours = Syn.run assay in
+    let conv = Cohls.Baseline.run assay in
+    (match Cohls.Schedule.validate ours.Syn.final with
+     | Ok () -> ()
+     | Error e -> Format.fprintf fmt "WARNING %s ours invalid: %s@." case.label e);
+    (match Cohls.Schedule.validate conv.Syn.final with
+     | Ok () -> ()
+     | Error e -> Format.fprintf fmt "WARNING %s conv invalid: %s@." case.label e);
+    Hashtbl.replace results case.label (ours, conv);
+    (ours, conv)
+
+(* ---------------------------------------------------------------- table 2 *)
+
+let table2 () =
+  section "Table 2: Synthesis Results for Bioassays";
+  let rows =
+    List.map
+      (fun case ->
+        let ours, conv = run_case case in
+        {
+          Cohls.Report.testcase = case.label;
+          op_count = case.ops;
+          indeterminate_count = case.indets;
+          conventional = conv;
+          ours;
+        })
+      cases
+  in
+  Cohls.Report.table2 fmt rows;
+  Format.fprintf fmt "@.Paper reference values:@.";
+  List.iter
+    (fun case ->
+      Format.fprintf fmt "  %-16s paper conv: %-22s paper ours: %s@." case.label
+        case.paper_conv case.paper_ours)
+    cases;
+  Format.fprintf fmt
+    "@.Shape check (expected: ours <= conv on every column):@.";
+  List.iter
+    (fun case ->
+      let ours, conv = run_case case in
+      let bo = ours.Syn.final_breakdown and bc = conv.Syn.final_breakdown in
+      Format.fprintf fmt
+        "  %-16s time %4dm vs %4dm (%.1f%%)  devices %2d vs %2d  paths %2d vs %2d@."
+        case.label bo.Cohls.Schedule.fixed_minutes bc.Cohls.Schedule.fixed_minutes
+        (100.0
+         *. float_of_int bo.Cohls.Schedule.fixed_minutes
+         /. float_of_int bc.Cohls.Schedule.fixed_minutes)
+        bo.Cohls.Schedule.devices bc.Cohls.Schedule.devices bo.Cohls.Schedule.paths
+        bc.Cohls.Schedule.paths)
+    cases
+
+(* ---------------------------------------------------------------- table 3 *)
+
+let table3 () =
+  section "Table 3: Improvement from Progressive Re-Synthesis";
+  let entries =
+    List.filter_map
+      (fun case ->
+        if case.indets > 0 then begin
+          let ours, _ = run_case case in
+          Some (case.label, ours)
+        end
+        else None)
+      cases
+  in
+  Cohls.Report.table3 fmt entries;
+  Format.fprintf fmt
+    "@.Paper reference: case 2: 295m -> 247m (16.27%%) -> 244m (1.21%%), #D 21 \
+     constant;@.                 case 3: 641m -> 530m (17.32%%) -> 492m (7.17%%), \
+     #D 24 constant.@."
+
+(* ---------------------------------------------------------------- fig 4 *)
+
+let fig4 () =
+  section "Fig. 4: dependency-based allocation (max independent set)";
+  (* the figure's situation: a chain of indeterminate ops; only those
+     without indeterminate ancestors in the working set join the layer *)
+  let a = Assay.create ~name:"fig4" in
+  let ind name = Assay.add_operation a ~duration:(Operation.Indeterminate { min_minutes = 5 }) name in
+  let det name = Assay.add_operation a ~duration:(Operation.Fixed 5) name in
+  let oa = ind "o_a" in
+  let m1 = det "m1" in
+  let ob = ind "o_b" in
+  let m2 = det "m2" in
+  let oc = ind "o_c" in
+  let free = det "free" in
+  Assay.add_dependency a ~parent:oa ~child:m1;
+  Assay.add_dependency a ~parent:m1 ~child:ob;
+  Assay.add_dependency a ~parent:ob ~child:m2;
+  Assay.add_dependency a ~parent:m2 ~child:oc;
+  ignore free;
+  let l = Cohls.Layering.compute a in
+  Format.fprintf fmt "%a@." Cohls.Layering.pp l;
+  Array.iter
+    (fun (layer : Cohls.Layering.layer) ->
+      Format.fprintf fmt "  L%d ops: %s@." layer.Cohls.Layering.index
+        (String.concat ", "
+           (List.map
+              (fun v -> (Assay.operation a v).Operation.name)
+              layer.Cohls.Layering.ops)))
+    l.Cohls.Layering.layers;
+  Format.fprintf fmt
+    "expected: three layers peeling one indeterminate op each (o_a, o_b, o_c), \
+     the free op in layer 0.@."
+
+(* ---------------------------------------------------------------- fig 5 *)
+
+let fig5 () =
+  section "Fig. 5: resource-based eviction (storage-aware min-cut)";
+  let a = Assay.create ~name:"fig5" in
+  let ind name = Assay.add_operation a ~duration:(Operation.Indeterminate { min_minutes = 5 }) name in
+  let det name = Assay.add_operation a ~duration:(Operation.Fixed 5) name in
+  let a1 = det "a1" in
+  let o1 = ind "o1" in
+  Assay.add_dependency a ~parent:a1 ~child:o1;
+  let a2 = det "a2" in
+  let a3 = det "a3" in
+  let o2 = ind "o2" in
+  Assay.add_dependency a ~parent:a2 ~child:o2;
+  Assay.add_dependency a ~parent:a3 ~child:o2;
+  let a4 = det "a4" in
+  let a5 = det "a5" in
+  let o3 = ind "o3" in
+  Assay.add_dependency a ~parent:a4 ~child:a5;
+  Assay.add_dependency a ~parent:a5 ~child:o3;
+  Assay.add_dependency a ~parent:a4 ~child:o3;
+  List.iter
+    (fun threshold ->
+      let l = Cohls.Layering.compute ~threshold a in
+      let name v = (Assay.operation a v).Operation.name in
+      Format.fprintf fmt "threshold %d: layer0 indets = {%s}, stored = %d@." threshold
+        (String.concat ", " (List.map name l.Cohls.Layering.layers.(0).Cohls.Layering.indeterminate))
+        (List.length l.Cohls.Layering.layers.(0).Cohls.Layering.stored_transfers))
+    [ 3; 2; 1 ];
+  Format.fprintf fmt
+    "expected: t=3 keeps all; t=2 evicts o1 (storage 1, moves nothing);@.\
+    \          t=1 additionally evicts o3 (cut cost 1 moving 2 ancestors beats \
+     o2's storage 2).@."
+
+(* ---------------------------------------------------------------- fig 6 *)
+
+let fig6 () =
+  section "Fig. 6: device inheritance risk and progressive re-synthesis";
+  (* o2 (chamber-ish, {s}) in layer 0; o1 (ring, {s,p}) in layer 1. Pass 1
+     integrates a cheap device for o2 that o1 cannot reuse; re-synthesis
+     notices and binds o2 to o1's ring. The layering is forced by an
+     indeterminate op between them. *)
+  let a = Assay.create ~name:"fig6" in
+  let o2 =
+    Assay.add_operation a ~accessories:[ Components.Accessory.Sieve_valve ]
+      ~duration:(Operation.Fixed 10) "o2-wash"
+  in
+  let gate =
+    Assay.add_operation a
+      ~duration:(Operation.Indeterminate { min_minutes = 5 })
+      "gate"
+  in
+  let o1 =
+    Assay.add_operation a ~container:Components.Container.Ring
+      ~capacity:Components.Capacity.Small
+      ~accessories:[ Components.Accessory.Sieve_valve; Components.Accessory.Pump ]
+      ~duration:(Operation.Fixed 10) "o1-mix"
+  in
+  Assay.add_dependency a ~parent:o2 ~child:gate;
+  Assay.add_dependency a ~parent:gate ~child:o1;
+  let r = Syn.run a in
+  List.iteri
+    (fun k (it : Syn.iteration) ->
+      let s = it.Syn.schedule in
+      let dev op = match Cohls.Schedule.binding s op with Some d -> d | None -> -1 in
+      Format.fprintf fmt
+        "iteration %d: o2 on d%d, o1 on d%d, devices %d, weighted %d@." k (dev o2)
+        (dev o1)
+        it.Syn.breakdown.Cohls.Schedule.devices
+        it.Syn.breakdown.Cohls.Schedule.weighted)
+    r.Syn.iterations;
+  let final_devices = r.Syn.final_breakdown.Cohls.Schedule.devices in
+  Format.fprintf fmt
+    "expected: the final pass shares one ring/sieve-valve device between o1 and \
+     o2 where the first pass built a separate chamber (devices: %d).@."
+    final_devices
+
+(* ---------------------------------------------------------------- ablation *)
+
+let ablation () =
+  section "Ablation: layer-solver engine (ILP vs heuristic, small protocol)";
+  let assay = Assays.Kinase.base () in
+  let mk engine =
+    Syn.run
+      ~config:{ Syn.default_config with Syn.engine; max_devices = 6; max_iterations = 1 }
+      assay
+  in
+  let heur = mk Cohls.Layer_solver.Heuristic in
+  let ilp =
+    mk
+      (Cohls.Layer_solver.Ilp
+         {
+           options =
+             { Lp.Branch_bound.default_options with Lp.Branch_bound.time_limit = Some 10.0 };
+           extra_free_slots = 1;
+         })
+  in
+  let show tag (r : Syn.result) =
+    let b = r.Syn.final_breakdown in
+    Format.fprintf fmt "  %-10s time %3dm devices %d paths %d weighted %6d (%.2fs)@."
+      tag b.Cohls.Schedule.fixed_minutes b.Cohls.Schedule.devices b.Cohls.Schedule.paths
+      b.Cohls.Schedule.weighted r.Syn.runtime_seconds
+  in
+  show "heuristic" heur;
+  show "ilp" ilp;
+
+  section "Ablation: binding rule (the paper's central claim, case 2)";
+  let assay2 = Assays.Gene_expression.testcase () in
+  let with_rule rule =
+    Syn.run ~config:{ Syn.default_config with Syn.rule } assay2
+  in
+  show "component" (with_rule Cohls.Binding.Component_oriented);
+  show "exact-sig" (with_rule Cohls.Binding.Exact_signature);
+
+  section "Ablation: transportation refinement on/off (case 3)";
+  let assay3 = Assays.Rt_qpcr.testcase () in
+  let refined = Syn.run assay3 in
+  let unrefined =
+    Syn.run ~config:{ Syn.default_config with Syn.max_iterations = 1 } assay3
+  in
+  show "refined" refined;
+  show "constant-t" unrefined;
+
+  section "Ablation: indeterminate threshold sweep (case 3)";
+  List.iter
+    (fun threshold ->
+      let r = Syn.run ~config:{ Syn.default_config with Syn.threshold } assay3 in
+      let b = r.Syn.final_breakdown in
+      Format.fprintf fmt
+        "  threshold %2d: %d layers, time %3dm devices %d paths %d@." threshold
+        (Array.length r.Syn.final.Cohls.Schedule.layers)
+        b.Cohls.Schedule.fixed_minutes b.Cohls.Schedule.devices b.Cohls.Schedule.paths)
+    [ 2; 5; 10; 20 ];
+
+  section "Ablation: transport refinement source (usage rank vs grid layout, case 2)";
+  show "usage-rank" (Syn.run assay2);
+  show "grid-layout" (Syn.run ~config:{ Syn.default_config with Syn.refine_by_layout = true } assay2);
+
+  section "Ablation: control-layer effort (valves and switching events)";
+  (* fewer transportation paths (contribution III) translate into fewer
+     path-gate valves and fewer switching events, the metric minimised by
+     the paper's reference [4] *)
+  List.iter
+    (fun case ->
+      let ours, conv = run_case case in
+      let stats (r : Syn.result) =
+        let layer = Control.Control_layer.of_chip r.Syn.final.Cohls.Schedule.chip in
+        let timeline = Control.Actuation.synthesise layer r.Syn.final in
+        (Control.Control_layer.valve_count layer,
+         Control.Actuation.switch_count timeline)
+      in
+      let vo, so = stats ours and vc, sc = stats conv in
+      Format.fprintf fmt "  %-16s ours %3d valves / %4d switches   conv %3d valves / %4d switches@."
+        case.label vo so vc sc)
+    cases;
+
+  section "Ablation: phase-1 selection order (the paper's 'randomly choose')";
+  (* Algorithm 1 picks the next eligible indeterminate op "randomly"; the
+     layering outcome should be essentially insensitive to that order *)
+  let a3 = Assays.Rt_qpcr.testcase () in
+  let base_layers = Cohls.Layering.layer_count (Cohls.Layering.compute a3) in
+  let seeds = [ 1; 7; 42; 1234 ] in
+  let counts =
+    List.map
+      (fun seed ->
+        Cohls.Layering.layer_count
+          (Cohls.Layering.compute ~choice:(Cohls.Layering.Seeded seed) a3))
+      seeds
+  in
+  Format.fprintf fmt
+    "  case3: smallest-id gives %d layers; seeded picks give %s layers@."
+    base_layers
+    (String.concat ", " (List.map string_of_int counts));
+
+  section "Ablation: binding-rule robustness over random protocols";
+  let wins = ref 0 and ties = ref 0 and losses = ref 0 in
+  let tried = ref 0 in
+  let seed = ref 0 in
+  while !tried < 10 do
+    incr seed;
+    let params =
+      { Assays.Random_assay.default_params with Assays.Random_assay.op_count = 24 }
+    in
+    let assay = Assays.Random_assay.generate ~seed:!seed params in
+    match (Syn.run assay, Cohls.Baseline.run assay) with
+    | exception Cohls.List_scheduler.No_device _ -> ()
+    | ours, conv ->
+      incr tried;
+      let o = ours.Syn.final_breakdown.Cohls.Schedule.fixed_minutes in
+      let c = conv.Syn.final_breakdown.Cohls.Schedule.fixed_minutes in
+      if o < c then incr wins else if o = c then incr ties else incr losses
+  done;
+  Format.fprintf fmt
+    "  over %d random 24-op assays: ours faster %d, tied %d, slower %d@." !tried
+    !wins !ties !losses;
+
+  section "Ablation: physical design quality (floorplan + maze routing)";
+  (* fewer transportation paths should also yield a cheaper physical
+     design: shorter total channel length and fewer channel crossings *)
+  List.iter
+    (fun case ->
+      let ours, conv = run_case case in
+      let q (r : Syn.result) =
+        Physical.Physical_design.quality
+          (Physical.Physical_design.of_schedule Cost.default r.Syn.final)
+      in
+      let da, la, ca = q ours and dc, lc, cc = q conv in
+      Format.fprintf fmt
+        "  %-16s ours die %4d len %4d cross %3d   conv die %4d len %4d cross %3d@."
+        case.label da la ca dc lc cc)
+    cases;
+
+  section "Ablation: scaling (replicated gene-expression protocol, the paper's scaling method)";
+  List.iter
+    (fun copies ->
+      let assay = Assay.replicate (Assays.Gene_expression.base ()) ~copies in
+      let t0 = Unix.gettimeofday () in
+      let r = Syn.run assay in
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.fprintf fmt "  %4d ops: %7.3fs, %d layers, %d devices, time %s@."
+        (Assay.operation_count assay)
+        dt
+        (Array.length r.Syn.final.Cohls.Schedule.layers)
+        r.Syn.final_breakdown.Cohls.Schedule.devices
+        (Cohls.Report.exe_time_string r))
+    [ 10; 20; 40; 80 ];
+
+  section "Ablation: hybrid vs fully static scheduling (slot fragility)";
+  (* the paper's motivation for hybrid scheduling: a one-layer fixed-slot
+     schedule breaks downstream slots whenever an indeterminate operation
+     overruns; the layered hybrid schedule has zero in-layer exposure by
+     constraint (14) *)
+  List.iter
+    (fun (label, assay) ->
+      let static, hybrid = Cohls.Static_baseline.compare_hybrid assay in
+      Format.fprintf fmt
+        "  %-16s static: %3d/%3d slots exposed (worst chain %3d)   hybrid: %d exposed@."
+        label static.Cohls.Static_baseline.exposed_slots
+        static.Cohls.Static_baseline.total_slots
+        static.Cohls.Static_baseline.worst_chain
+        hybrid.Cohls.Static_baseline.exposed_slots)
+    [
+      ("case2 gene-expr", Assays.Gene_expression.testcase ());
+      ("case3 rt-qpcr", Assays.Rt_qpcr.testcase ());
+      ("mda [12]", Assays.Mda.testcase ());
+    ];
+
+  section "Ablation: hybrid execution (realised I_k under an indeterminacy oracle)";
+  let r = Syn.run assay2 in
+  List.iter
+    (fun extra ->
+      match
+        Cohls.Runtime.execute r.Syn.final
+          (Cohls.Runtime.deterministic_oracle ~extra (Lazy.force (lazy assay2)))
+      with
+      | Ok trace ->
+        Format.fprintf fmt "  capture overrun +%2dm: total %dm (fixed %dm)@." extra
+          trace.Cohls.Runtime.total_minutes
+          (Cohls.Schedule.total_fixed_minutes r.Syn.final)
+      | Error e -> Format.fprintf fmt "  oracle error: %s@." e)
+    [ 0; 5; 15; 30 ]
+
+(* ---------------------------------------------------------------- micro *)
+
+let wyndor_solve () =
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m "x" in
+  let y = Lp.Model.add_var m "y" in
+  let open Lp.Linexpr in
+  Lp.Model.add_constr m (var x) Lp.Model.Le (of_int 4);
+  Lp.Model.add_constr m (iterm 2 y) Lp.Model.Le (of_int 12);
+  Lp.Model.add_constr m (add (iterm 3 x) (iterm 2 y)) Lp.Model.Le (of_int 18);
+  Lp.Model.set_objective m `Maximize (add (iterm 3 x) (iterm 5 y));
+  ignore (Lp.Simplex.solve_relaxation_float m)
+
+let maxflow_grid () =
+  (* an 8x8 grid network with unit-ish capacities *)
+  let side = 8 in
+  let id r c = (r * side) + c in
+  let net = Flowgraph.Maxflow.create (side * side) in
+  for r = 0 to side - 1 do
+    for c = 0 to side - 1 do
+      if c + 1 < side then
+        Flowgraph.Maxflow.add_edge net ~src:(id r c) ~dst:(id r (c + 1)) ~cap:((r mod 3) + 1);
+      if r + 1 < side then
+        Flowgraph.Maxflow.add_edge net ~src:(id r c) ~dst:(id (r + 1) c) ~cap:((c mod 3) + 1)
+    done
+  done;
+  ignore (Flowgraph.Maxflow.max_flow net ~source:0 ~sink:(side * side - 1))
+
+let micro () =
+  section "Bechamel micro-benchmarks of the computational kernels";
+  let open Bechamel in
+  let assay2 = Assays.Gene_expression.testcase () in
+  let assay3 = Assays.Rt_qpcr.testcase () in
+  let stagef f = Staged.stage f in
+  let tests =
+    [
+      Test.make ~name:"layering/case3"
+        (stagef (fun () -> ignore (Cohls.Layering.compute assay3)));
+      Test.make ~name:"list-scheduler/case2-pass"
+        (stagef (fun () ->
+             ignore
+               (Syn.run
+                  ~config:{ Syn.default_config with Syn.max_iterations = 1 }
+                  assay2)));
+      Test.make ~name:"simplex/wyndor-float" (stagef wyndor_solve);
+      Test.make ~name:"maxflow/8x8-grid" (stagef maxflow_grid);
+      Test.make ~name:"bigint/mul-256-digit"
+        (stagef (fun () ->
+             let a = Numeric.Bigint.pow (Numeric.Bigint.of_int 12345) 64 in
+             ignore (Numeric.Bigint.mul a a)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let report test =
+    let raw = Benchmark.all cfg [ instance ] test in
+    let analysed = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name ols_result ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ ns_per_run ] ->
+          Format.fprintf fmt "  %-28s %12.0f ns/run@." name ns_per_run
+        | Some _ | None -> Format.fprintf fmt "  %-28s (no estimate)@." name)
+      analysed
+  in
+  List.iter report tests
+
+(* ---------------------------------------------------------------- main *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let t0 = Unix.gettimeofday () in
+  (match what with
+   | "table2" -> table2 ()
+   | "table3" -> table3 ()
+   | "fig4" -> fig4 ()
+   | "fig5" -> fig5 ()
+   | "fig6" -> fig6 ()
+   | "ablation" -> ablation ()
+   | "micro" -> micro ()
+   | "all" ->
+     table2 ();
+     table3 ();
+     fig4 ();
+     fig5 ();
+     fig6 ();
+     ablation ();
+     micro ()
+   | other ->
+     Format.fprintf fmt
+       "unknown experiment %s (table2|table3|fig4|fig5|fig6|ablation|micro|all)@."
+       other;
+     exit 1);
+  Format.fprintf fmt "@.total bench wall time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,275 @@
+(* Command-line front end for the component-oriented synthesiser.
+
+     cohls_cli synth    --case case2 --rule conventional --schedule
+     cohls_cli layering --case case3 --threshold 5
+     cohls_cli execute  --case case2 --seed 7 --max-extra 20
+     cohls_cli compare  --case case1 *)
+
+open Cmdliner
+module Syn = Cohls.Synthesis
+
+let assay_of_case name =
+  match name with
+  | "case1" | "kinase" -> Ok (Assays.Kinase.testcase ())
+  | "case2" | "gene-expression" -> Ok (Assays.Gene_expression.testcase ())
+  | "case3" | "rt-qpcr" -> Ok (Assays.Rt_qpcr.testcase ())
+  | "chip" | "auto-chip" -> Ok (Assays.Chip_assay.testcase ())
+  | "mda" -> Ok (Assays.Mda.testcase ())
+  | other ->
+    (match String.index_opt other ':' with
+     | Some i when String.sub other 0 i = "random" -> begin
+       match int_of_string_opt (String.sub other (i + 1) (String.length other - i - 1)) with
+       | Some seed ->
+         Ok (Assays.Random_assay.generate ~seed Assays.Random_assay.default_params)
+       | None -> Error (`Msg "random:<seed> expects an integer seed")
+     end
+     | Some _ | None ->
+       Error (`Msg (Printf.sprintf "unknown case %S (case1|case2|case3|chip|mda|random:<seed>)" other)))
+
+let case_arg =
+  let doc = "Test case: case1 (kinase), case2 (gene-expression), case3 (rt-qpcr) chip (auto-chip), mda, or random:<seed>." in
+  Arg.(value & opt string "case1" & info [ "c"; "case" ] ~docv:"CASE" ~doc)
+
+let file_arg =
+  let doc = "Read the assay from a .assay description file instead of --case (see lib/microfluidics/assay_text.mli for the grammar)." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let assay_of ~case ~file =
+  match file with
+  | Some path -> begin
+    match Microfluidics.Assay_text.of_file path with
+    | Ok a -> Ok a
+    | Error e ->
+      Error (`Msg (Format.asprintf "%s: %a" path Microfluidics.Assay_text.pp_error e))
+  end
+  | None -> assay_of_case case
+
+let rule_arg =
+  let doc = "Binding rule: component (ours) or conventional (exact-signature baseline)." in
+  Arg.(value & opt (enum [ ("component", `Component); ("conventional", `Conventional) ]) `Component
+       & info [ "rule" ] ~doc)
+
+let threshold_arg =
+  let doc = "Maximum indeterminate operations per layer (Algorithm 1)." in
+  Arg.(value & opt int 10 & info [ "t"; "threshold" ] ~doc)
+
+let devices_arg =
+  let doc = "Device cap |D|." in
+  Arg.(value & opt int 25 & info [ "d"; "devices" ] ~doc)
+
+let iterations_arg =
+  let doc = "Maximum progressive re-synthesis iterations." in
+  Arg.(value & opt int 5 & info [ "iterations" ] ~doc)
+
+let ilp_arg =
+  let doc = "Solve each layer with the exact ILP (time-limited branch-and-bound warm-started by the greedy schedule)." in
+  Arg.(value & flag & info [ "ilp" ] ~doc)
+
+let ilp_seconds_arg =
+  let doc = "Per-layer ILP time limit in seconds." in
+  Arg.(value & opt float 10.0 & info [ "ilp-seconds" ] ~doc)
+
+let schedule_arg =
+  let doc = "Print the full schedule, not just the summary." in
+  Arg.(value & flag & info [ "schedule" ] ~doc)
+
+let gantt_arg =
+  let doc = "Print an ASCII Gantt chart of the schedule." in
+  Arg.(value & flag & info [ "gantt" ] ~doc)
+
+let control_arg =
+  let doc = "Print the control layer (valves) and the actuation switch count." in
+  Arg.(value & flag & info [ "control" ] ~doc)
+
+let physical_arg =
+  let doc = "Print the floorplan and routed-channel quality of the resulting chip." in
+  Arg.(value & flag & info [ "physical" ] ~doc)
+
+let dot_arg =
+  let doc = "Write a Graphviz rendering of the bound schedule to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc)
+
+let csv_arg =
+  let doc = "Write the schedule as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds =
+  let engine =
+    if ilp then
+      Cohls.Layer_solver.Ilp
+        {
+          options =
+            {
+              Lp.Branch_bound.default_options with
+              Lp.Branch_bound.time_limit = Some ilp_seconds;
+            };
+          extra_free_slots = 1;
+        }
+    else Cohls.Layer_solver.Heuristic
+  in
+  {
+    Syn.default_config with
+    Syn.rule =
+      (match rule with
+       | `Component -> Cohls.Binding.Component_oriented
+       | `Conventional -> Cohls.Binding.Exact_signature);
+    threshold;
+    max_devices = devices;
+    max_iterations = iterations;
+    engine;
+  }
+
+let handle_result = function
+  | Ok () -> `Ok ()
+  | Error (`Msg m) -> `Error (false, m)
+
+(* ---------- synth ---------- *)
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+let synth case file rule threshold devices iterations ilp ilp_seconds schedule gantt
+    control physical dot csv =
+  handle_result
+    (let ( let* ) = Result.bind in
+     let* assay = assay_of ~case ~file in
+     let config = config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds in
+     let run () =
+       let r = Syn.run ~config assay in
+       Format.printf "%a@." Cohls.Report.schedule_summary r;
+       if schedule then Format.printf "@.%a@." Cohls.Schedule.pp r.Syn.final;
+       if gantt then Format.printf "@.%s@." (Export.Gantt.render r.Syn.final);
+       if control then begin
+         let layer = Control.Control_layer.of_chip r.Syn.final.Cohls.Schedule.chip in
+         let timeline = Control.Actuation.synthesise layer r.Syn.final in
+         Format.printf "@.%a@." Control.Control_layer.pp layer;
+         Format.printf "actuation: %d valve switching events over %dm@."
+           (Control.Actuation.switch_count timeline)
+           timeline.Control.Actuation.horizon
+       end;
+       if physical then begin
+         let design = Physical.Physical_design.of_schedule Microfluidics.Cost.default r.Syn.final in
+         let die, len, crossings = Physical.Physical_design.quality design in
+         Format.printf "@.%a@." Physical.Physical_design.pp design;
+         Format.printf "physical quality: die %d, channel length %d, crossings %d@."
+           die len crossings
+       end;
+       (match dot with
+        | Some path ->
+          write_file path (Export.Dot.schedule r.Syn.final);
+          Format.printf "wrote %s@." path
+        | None -> ());
+       (match csv with
+        | Some path ->
+          write_file path (Export.Csv.schedule r.Syn.final);
+          Format.printf "wrote %s@." path
+        | None -> ());
+       (match Cohls.Schedule.validate r.Syn.final with
+        | Ok () -> Format.printf "schedule validates: OK@."; Ok ()
+        | Error e -> Error (`Msg ("internal: schedule invalid: " ^ e)))
+     in
+     try run () with
+     | Cohls.List_scheduler.No_device op ->
+       Error (`Msg (Printf.sprintf "device cap %d too small (operation %d fits no device)" devices op)))
+
+let synth_cmd =
+  let info = Cmd.info "synth" ~doc:"Synthesise a hybrid schedule for a bioassay." in
+  Cmd.v info
+    Term.(
+      ret
+        (const synth $ case_arg $ file_arg $ rule_arg $ threshold_arg $ devices_arg
+         $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ schedule_arg $ gantt_arg
+         $ control_arg $ physical_arg $ dot_arg $ csv_arg))
+
+(* ---------- layering ---------- *)
+
+let layering case threshold =
+  handle_result
+    (let ( let* ) = Result.bind in
+     let* assay = assay_of_case case in
+     let l = Cohls.Layering.compute ~threshold assay in
+     Format.printf "%a@." Cohls.Layering.pp l;
+     Array.iter
+       (fun (layer : Cohls.Layering.layer) ->
+         Format.printf "  L%d: %s@." layer.Cohls.Layering.index
+           (String.concat ", "
+              (List.map
+                 (fun v ->
+                   let o = Microfluidics.Assay.operation assay v in
+                   Printf.sprintf "%d:%s" v o.Microfluidics.Operation.name)
+                 layer.Cohls.Layering.ops)))
+       l.Cohls.Layering.layers;
+     match Cohls.Layering.check l with
+     | Ok () -> Format.printf "layering invariants: OK@."; Ok ()
+     | Error e -> Error (`Msg e))
+
+let layering_cmd =
+  let info = Cmd.info "layering" ~doc:"Show the hybrid-scheduling layers of a bioassay." in
+  Cmd.v info Term.(ret (const layering $ case_arg $ threshold_arg))
+
+(* ---------- execute ---------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Oracle seed.")
+
+let max_extra_arg =
+  Arg.(value & opt int 20 & info [ "max-extra" ]
+       ~doc:"Maximum extra minutes an indeterminate operation may take.")
+
+let execute case seed max_extra =
+  handle_result
+    (let ( let* ) = Result.bind in
+     let* assay = assay_of_case case in
+     let r = Syn.run assay in
+     let oracle = Cohls.Runtime.seeded_oracle ~seed ~max_extra assay in
+     match Cohls.Runtime.execute r.Syn.final oracle with
+     | Ok trace ->
+       Format.printf "fixed part: %dm, realised total: %dm@."
+         (Cohls.Schedule.total_fixed_minutes r.Syn.final)
+         trace.Cohls.Runtime.total_minutes;
+       List.iter
+         (fun (layer, wait) -> Format.printf "  layer %d waited %dm for indeterminate ops@." layer wait)
+         trace.Cohls.Runtime.waits;
+       Ok ()
+     | Error e -> Error (`Msg e))
+
+let execute_cmd =
+  let info = Cmd.info "execute" ~doc:"Replay a hybrid schedule under an indeterminacy oracle." in
+  Cmd.v info Term.(ret (const execute $ case_arg $ seed_arg $ max_extra_arg))
+
+(* ---------- compare ---------- *)
+
+let compare_run case threshold devices =
+  handle_result
+    (let ( let* ) = Result.bind in
+     let* assay = assay_of_case case in
+     let base = { Syn.default_config with Syn.threshold; max_devices = devices } in
+     let ours = Syn.run ~config:base assay in
+     let conv = Cohls.Baseline.run ~config:base assay in
+     let row =
+       {
+         Cohls.Report.testcase = case;
+         op_count = Microfluidics.Assay.operation_count assay;
+         indeterminate_count = Microfluidics.Assay.indeterminate_count assay;
+         conventional = conv;
+         ours;
+       }
+     in
+     Cohls.Report.table2 Format.std_formatter [ row ];
+     Format.printf "@.";
+     Cohls.Report.table3 Format.std_formatter [ (case, ours) ];
+     Format.printf "@.";
+     Ok ())
+
+let compare_cmd =
+  let info = Cmd.info "compare" ~doc:"Compare our method against the conventional baseline (Table 2/3 style)." in
+  Cmd.v info Term.(ret (const compare_run $ case_arg $ threshold_arg $ devices_arg))
+
+let main_cmd =
+  let doc = "Component-oriented high-level synthesis for continuous-flow microfluidics (DAC'17 reproduction)." in
+  let info = Cmd.info "cohls" ~version:"1.0.0" ~doc in
+  Cmd.group info [ synth_cmd; layering_cmd; execute_cmd; compare_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_component.ml: Accessory Assay Capacity Chip Cohls Components Container Format Lp Microfluidics Operation Printf

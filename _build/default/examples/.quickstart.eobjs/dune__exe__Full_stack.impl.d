@@ -1,0 +1,1 @@
+examples/full_stack.ml: Cohls Control Export Format Microfluidics Physical Printf

@@ -1,0 +1,1 @@
+examples/gene_expression_profiling.ml: Assays Cohls Format List Printf

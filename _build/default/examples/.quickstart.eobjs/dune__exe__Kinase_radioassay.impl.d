@@ -1,0 +1,1 @@
+examples/kinase_radioassay.ml: Assay Assays Chip Cohls Format List Microfluidics Printf

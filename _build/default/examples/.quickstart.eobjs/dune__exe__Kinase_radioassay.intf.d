@@ -1,0 +1,1 @@
+examples/kinase_radioassay.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accessory Assay Capacity Cohls Components Container Format List Microfluidics Operation Printf

@@ -1,0 +1,1 @@
+examples/single_cell_rtqpcr.ml: Array Assay Assays Cohls Format List Microfluidics Printf

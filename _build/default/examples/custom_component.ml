@@ -1,0 +1,74 @@
+(* "Adapts well to technological updates" (paper §2): because devices are
+   described by their components rather than by a fixed functional type,
+   new kinds of integration need no changes to the synthesiser.
+
+   This example invents a combined trap-and-heat protocol — single-cell
+   capture followed by an in-place heat shock and optical check, all in the
+   same chamber — and lets the exact ILP engine find the minimal chip for
+   it. The baseline, classifying by exact signature, cannot share any of
+   these devices.
+
+     dune exec examples/custom_component.exe *)
+
+open Microfluidics
+open Components
+module Syn = Cohls.Synthesis
+
+let protocol () =
+  let a = Assay.create ~name:"trap-and-heat" in
+  (* capture needs trap + optics; heat-shock needs heat; the component
+     definitions make them shareable on one loaded chamber *)
+  let capture =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Tiny
+      ~accessories:[ Accessory.Cell_trap; Accessory.Optical_system ]
+      ~duration:(Operation.Fixed 12) "capture"
+  in
+  let heat_shock =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Tiny
+      ~accessories:[ Accessory.Heating_pad ] ~duration:(Operation.Fixed 8)
+      "heat-shock"
+  in
+  let viability =
+    Assay.add_operation a ~accessories:[ Accessory.Optical_system ]
+      ~duration:(Operation.Fixed 4) "viability-check"
+  in
+  Assay.add_dependency a ~parent:capture ~child:heat_shock;
+  Assay.add_dependency a ~parent:heat_shock ~child:viability;
+  a
+
+let run rule engine assay =
+  Syn.run
+    ~config:{ Syn.default_config with Syn.rule; engine; max_devices = 6; max_iterations = 1 }
+    assay
+
+let show tag (r : Syn.result) =
+  let b = r.Syn.final_breakdown in
+  Printf.printf "%-28s %3dm  %d devices  %d paths  processing %d\n" tag
+    b.Cohls.Schedule.fixed_minutes b.Cohls.Schedule.devices b.Cohls.Schedule.paths
+    b.Cohls.Schedule.processing
+
+let () =
+  let assay = Assay.replicate (protocol ()) ~copies:2 in
+  let ilp =
+    Cohls.Layer_solver.Ilp
+      {
+        options =
+          { Lp.Branch_bound.default_options with Lp.Branch_bound.time_limit = Some 10.0 };
+        extra_free_slots = 1;
+      }
+  in
+  let ours_ilp = run Cohls.Binding.Component_oriented ilp assay in
+  let ours_greedy = run Cohls.Binding.Component_oriented Cohls.Layer_solver.Heuristic assay in
+  let conv = run Cohls.Binding.Exact_signature Cohls.Layer_solver.Heuristic assay in
+  show "component-oriented (ILP)" ours_ilp;
+  show "component-oriented (greedy)" ours_greedy;
+  show "exact-signature (greedy)" conv;
+  print_newline ();
+  Format.printf "ILP chip:@.%a@." Chip.pp ours_ilp.Syn.final.Cohls.Schedule.chip;
+  (* every chamber the ILP keeps carries the union of accessories its
+     operations need; the exact-signature baseline instead builds one
+     device class per distinct requirement signature *)
+  Format.printf "Baseline chip:@.%a@." Chip.pp conv.Syn.final.Cohls.Schedule.chip;
+  match Cohls.Schedule.validate ours_ilp.Syn.final with
+  | Ok () -> print_endline "ILP schedule validates: OK"
+  | Error e -> failwith e

@@ -1,0 +1,43 @@
+(* The paper's test case 2: gene expression profiling of single human
+   embryonic stem cells (Zhong et al. 2008, the Fig. 1 chip). Ten pipelines
+   start with an indeterminate single-cell capture — a cell trap holds
+   exactly one cell only ~53% of the time, so the capture may need reruns
+   and cannot occupy a fixed slot.
+
+   This example shows the hybrid-scheduling machinery: the layering that
+   puts all captures at the end of the first sub-schedule, and the runtime
+   executor standing in for the cyber-physical controller, drawing actual
+   capture durations from a seeded oracle.
+
+     dune exec examples/gene_expression_profiling.exe *)
+
+let () =
+  let assay = Assays.Gene_expression.testcase () in
+  let result = Cohls.Synthesis.run assay in
+
+  (* 1. The layering: all ten captures in layer 0, everything downstream in
+        layer 1; the controller only intervenes at the boundary. *)
+  Format.printf "%a@." Cohls.Layering.pp result.Cohls.Synthesis.layering;
+  Format.printf "%a@.@." Cohls.Report.schedule_summary result;
+
+  (* 2. Ten simulated runs with different capture luck. The fixed part of
+        the schedule never moves; only the realised I_1 varies. *)
+  Printf.printf "%-6s %-14s %-12s\n" "run" "total minutes" "I1 realised";
+  let fixed = Cohls.Schedule.total_fixed_minutes result.Cohls.Synthesis.final in
+  for seed = 1 to 10 do
+    let oracle = Cohls.Runtime.seeded_oracle ~seed ~max_extra:25 assay in
+    match Cohls.Runtime.execute result.Cohls.Synthesis.final oracle with
+    | Ok trace ->
+      Printf.printf "%-6d %-14d %-12d\n" seed trace.Cohls.Runtime.total_minutes
+        (List.assoc 0 trace.Cohls.Runtime.waits)
+    | Error e -> failwith e
+  done;
+  Printf.printf "(fixed part of the schedule: %dm in every run)\n" fixed;
+
+  (* 3. Contrast with a purely static schedule: if the captures had been
+        treated as fixed-duration ops, any overrun would invalidate every
+        downstream slot; here the pre-generated schedule survives all ten
+        runs unchanged. *)
+  match Cohls.Schedule.validate result.Cohls.Synthesis.final with
+  | Ok () -> print_endline "hybrid schedule validates: OK"
+  | Error e -> failwith e

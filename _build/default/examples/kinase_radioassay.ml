@@ -1,0 +1,47 @@
+(* The paper's test case 1: a kinase activity radioassay (Fang et al. 2010)
+   whose mixing step runs through a sieve-valve bead column by flow
+   reversal — a mixing operation that needs NO classical mixer. This is the
+   motivating example for component-oriented binding (paper §1, Fig. 2).
+
+   The example compares our method with the modified conventional method
+   and prints the resulting chip.
+
+     dune exec examples/kinase_radioassay.exe *)
+
+open Microfluidics
+
+let show tag (r : Cohls.Synthesis.result) =
+  let b = r.Cohls.Synthesis.final_breakdown in
+  Printf.printf "%-22s %4dm  %2d devices  %2d paths  area %3d  processing %3d\n" tag
+    b.Cohls.Schedule.fixed_minutes b.Cohls.Schedule.devices b.Cohls.Schedule.paths
+    b.Cohls.Schedule.area b.Cohls.Schedule.processing
+
+let () =
+  let assay = Assays.Kinase.testcase () in
+  Printf.printf "%d operations (%d indeterminate), critical path %dm\n\n"
+    (Assay.operation_count assay)
+    (Assay.indeterminate_count assay)
+    (Assay.critical_path_minutes assay);
+
+  let ours = Cohls.Synthesis.run assay in
+  let conv = Cohls.Baseline.run assay in
+  show "component-oriented" ours;
+  show "conventional" conv;
+
+  (* Where the gap comes from: under the component-oriented rule the wash
+     and elute steps run inside the same sieve-valve chamber that hosts the
+     flow-reversal mix, and the detection reuses whatever device carries an
+     optical system. The conventional exact-signature rule needs a separate
+     device class for each of them. *)
+  print_newline ();
+  Format.printf "Our chip:@.%a@." Chip.pp ours.Cohls.Synthesis.final.Cohls.Schedule.chip;
+  Format.printf "Conventional chip:@.%a@." Chip.pp
+    conv.Cohls.Synthesis.final.Cohls.Schedule.chip;
+
+  (* The re-synthesis trajectory (Table 3 mechanics on a determinate case). *)
+  Printf.printf "re-synthesis trajectory (ours):";
+  List.iter
+    (fun (it : Cohls.Synthesis.iteration) ->
+      Printf.printf " %dm" it.Cohls.Synthesis.breakdown.Cohls.Schedule.fixed_minutes)
+    ours.Cohls.Synthesis.iterations;
+  print_newline ()

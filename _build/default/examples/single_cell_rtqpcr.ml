@@ -1,0 +1,43 @@
+(* The paper's test case 3: high-throughput single-cell RT-qPCR (White et
+   al. 2011) — 120 operations, 20 of them indeterminate captures. With the
+   default threshold of 10 the layering produces three layers (the paper's
+   603m+I1+I2 structure).
+
+   The example sweeps the indeterminate threshold to show the trade the
+   paper's Algorithm 1 manages: small thresholds mean many cheap layers
+   (few parallel cell-trap devices reserved) but long total time; large
+   thresholds hog devices for captures and starve the determinate
+   pipeline.
+
+     dune exec examples/single_cell_rtqpcr.exe *)
+
+open Microfluidics
+module Syn = Cohls.Synthesis
+
+let () =
+  let assay = Assays.Rt_qpcr.testcase () in
+  Printf.printf "%d operations, %d indeterminate captures\n\n"
+    (Assay.operation_count assay)
+    (Assay.indeterminate_count assay);
+
+  Printf.printf "%-10s %-7s %-12s %-8s %-6s %s\n" "threshold" "layers" "exe. time"
+    "devices" "paths" "storage";
+  List.iter
+    (fun threshold ->
+      let r = Syn.run ~config:{ Syn.default_config with Syn.threshold } assay in
+      (match Cohls.Schedule.validate r.Syn.final with
+       | Ok () -> ()
+       | Error e -> failwith e);
+      let b = r.Syn.final_breakdown in
+      Printf.printf "%-10d %-7d %-12s %-8d %-6d %d\n" threshold
+        (Array.length r.Syn.final.Cohls.Schedule.layers)
+        (Cohls.Report.exe_time_string r)
+        b.Cohls.Schedule.devices b.Cohls.Schedule.paths
+        (Cohls.Layering.storage_units r.Syn.layering))
+    [ 2; 4; 6; 10; 20 ];
+
+  (* the default configuration, in full *)
+  print_newline ();
+  let r = Syn.run assay in
+  Format.printf "%a@." Cohls.Report.schedule_summary r;
+  Format.printf "layer structure: %a@." Cohls.Layering.pp r.Syn.layering

@@ -1,0 +1,1 @@
+lib/assays/chip_assay.ml: Accessory Assay Capacity Components Container Microfluidics Operation

@@ -1,0 +1,1 @@
+lib/assays/chip_assay.mli: Microfluidics

@@ -1,0 +1,1 @@
+lib/assays/gene_expression.ml: Accessory Assay Capacity Components Container Microfluidics Operation

@@ -1,0 +1,1 @@
+lib/assays/gene_expression.mli: Microfluidics

@@ -1,0 +1,1 @@
+lib/assays/kinase.ml: Accessory Assay Capacity Components Container Microfluidics Operation

@@ -1,0 +1,1 @@
+lib/assays/kinase.mli: Microfluidics

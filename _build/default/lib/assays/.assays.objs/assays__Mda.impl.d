@@ -1,0 +1,1 @@
+lib/assays/mda.ml: Accessory Assay Capacity Components Container Microfluidics Operation

@@ -1,0 +1,1 @@
+lib/assays/mda.mli: Microfluidics

@@ -1,0 +1,1 @@
+lib/assays/random_assay.ml: Accessory Assay Components Container List Microfluidics Operation Printf

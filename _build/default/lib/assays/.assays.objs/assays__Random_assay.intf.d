@@ -1,0 +1,1 @@
+lib/assays/random_assay.mli: Microfluidics

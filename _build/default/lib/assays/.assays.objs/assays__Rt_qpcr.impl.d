@@ -1,0 +1,1 @@
+lib/assays/rt_qpcr.ml: Accessory Assay Capacity Components Container Microfluidics Operation

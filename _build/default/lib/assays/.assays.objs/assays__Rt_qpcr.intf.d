@@ -1,0 +1,1 @@
+lib/assays/rt_qpcr.mli: Microfluidics

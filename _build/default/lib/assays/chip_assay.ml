@@ -1,0 +1,58 @@
+open Microfluidics
+open Components
+
+let base_op_count = 9
+let replication = 8
+
+let base () =
+  let a = Assay.create ~name:"auto-chip" in
+  let fixed m = Operation.Fixed m in
+  let load_chromatin =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Small
+      ~duration:(fixed 8) "load-chromatin"
+  in
+  let bind_beads =
+    Assay.add_operation a ~accessories:[ Accessory.Sieve_valve ]
+      ~duration:(fixed 12) "bind-antibody-beads"
+  in
+  let immunoprecipitate =
+    Assay.add_operation a ~container:Container.Ring ~capacity:Capacity.Small
+      ~accessories:[ Accessory.Pump; Accessory.Sieve_valve ]
+      ~duration:(fixed 45) "immunoprecipitate"
+  in
+  let wash1 =
+    Assay.add_operation a ~accessories:[ Accessory.Sieve_valve ]
+      ~duration:(fixed 8) "wash-low-salt"
+  in
+  let wash2 =
+    Assay.add_operation a ~accessories:[ Accessory.Sieve_valve ]
+      ~duration:(fixed 8) "wash-high-salt"
+  in
+  let wash3 =
+    Assay.add_operation a ~accessories:[ Accessory.Sieve_valve ]
+      ~duration:(fixed 8) "wash-licl"
+  in
+  let elute =
+    Assay.add_operation a ~accessories:[ Accessory.Sieve_valve ]
+      ~duration:(fixed 10) "elute"
+  in
+  let reverse_crosslink =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Small
+      ~accessories:[ Accessory.Heating_pad ] ~duration:(fixed 35)
+      "reverse-crosslink"
+  in
+  let quantify =
+    Assay.add_operation a ~accessories:[ Accessory.Optical_system ]
+      ~duration:(fixed 6) "quantify"
+  in
+  Assay.add_dependency a ~parent:load_chromatin ~child:immunoprecipitate;
+  Assay.add_dependency a ~parent:bind_beads ~child:immunoprecipitate;
+  Assay.add_dependency a ~parent:immunoprecipitate ~child:wash1;
+  Assay.add_dependency a ~parent:wash1 ~child:wash2;
+  Assay.add_dependency a ~parent:wash2 ~child:wash3;
+  Assay.add_dependency a ~parent:wash3 ~child:elute;
+  Assay.add_dependency a ~parent:elute ~child:reverse_crosslink;
+  Assay.add_dependency a ~parent:reverse_crosslink ~child:quantify;
+  a
+
+let testcase () = Assay.replicate (base ()) ~copies:replication

@@ -1,0 +1,18 @@
+(** Additional protocol: automated microfluidic chromatin
+    immunoprecipitation (Wu et al., Lab Chip 2009 — reference [14] of the
+    paper).
+
+    AutoChIP is washing-heavy: chromatin is bound to antibody beads held by
+    sieve valves and washed repeatedly — exactly the kind of protocol whose
+    operations monopolise sieve-valve chambers rather than classical
+    mixers. All operations are determinate. Not part of the paper's
+    evaluation; used by the stress benches and extra examples. *)
+
+val base : unit -> Microfluidics.Assay.t
+(** One ChIP pipeline: 9 operations, all determinate. *)
+
+val testcase : unit -> Microfluidics.Assay.t
+(** 8 replicated pipelines, 72 operations. *)
+
+val base_op_count : int
+val replication : int

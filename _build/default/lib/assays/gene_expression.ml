@@ -1,0 +1,50 @@
+open Microfluidics
+open Components
+
+let base_op_count = 7
+let replication = 10
+
+let base () =
+  let a = Assay.create ~name:"gene-expression-profiling" in
+  let fixed m = Operation.Fixed m in
+  let capture =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Tiny
+      ~accessories:[ Accessory.Cell_trap; Accessory.Optical_system ]
+      ~duration:(Operation.Indeterminate { min_minutes = 8 })
+      "capture-single-cell"
+  in
+  let lyse =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Tiny
+      ~duration:(fixed 10) "lyse-cell"
+  in
+  let mrna_capture =
+    Assay.add_operation a ~accessories:[ Accessory.Sieve_valve ]
+      ~duration:(fixed 15) "mrna-capture"
+  in
+  let cdna_synthesis =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Small
+      ~accessories:[ Accessory.Heating_pad ] ~duration:(fixed 30)
+      "cdna-synthesis"
+  in
+  let purify =
+    Assay.add_operation a ~accessories:[ Accessory.Sieve_valve ]
+      ~duration:(fixed 10) "purify-wash"
+  in
+  let amplify =
+    Assay.add_operation a ~container:Container.Ring ~capacity:Capacity.Small
+      ~accessories:[ Accessory.Pump; Accessory.Heating_pad ]
+      ~duration:(fixed 25) "amplify"
+  in
+  let detect =
+    Assay.add_operation a ~accessories:[ Accessory.Optical_system ]
+      ~duration:(fixed 8) "detect"
+  in
+  Assay.add_dependency a ~parent:capture ~child:lyse;
+  Assay.add_dependency a ~parent:lyse ~child:mrna_capture;
+  Assay.add_dependency a ~parent:mrna_capture ~child:cdna_synthesis;
+  Assay.add_dependency a ~parent:cdna_synthesis ~child:purify;
+  Assay.add_dependency a ~parent:purify ~child:amplify;
+  Assay.add_dependency a ~parent:amplify ~child:detect;
+  a
+
+let testcase () = Assay.replicate (base ()) ~copies:replication

@@ -1,0 +1,17 @@
+(** Test case 2: gene expression profiling of single human embryonic stem
+    cells (Zhong et al., Lab Chip 2008 — reference [7] of the paper; the
+    chip of Fig. 1).
+
+    The per-cell pipeline starts with single-cell capture, whose duration is
+    indeterminate: a trap holds exactly one cell only ~53% of the time, so
+    the result must be inspected and the capture possibly rerun. Replicated
+    to the paper's 70 operations with 10 indeterminate ones. *)
+
+val base : unit -> Microfluidics.Assay.t
+(** One cell's pipeline: 7 operations, 1 indeterminate. *)
+
+val testcase : unit -> Microfluidics.Assay.t
+(** The paper's case 2: 10 instances, 70 operations, 10 indeterminate. *)
+
+val base_op_count : int
+val replication : int

@@ -1,0 +1,17 @@
+(** Test case 1: kinase activity radioassay (Fang et al., Cancer Res. 2010
+    — reference [10] of the paper; the chip of Fig. 2).
+
+    The protocol captures a peptide substrate on a sieve-valve bead column,
+    mixes a large sample volume through it by flow reversal, washes, elutes
+    and reads the radioactivity out. All durations are exact: the paper uses
+    this assay as its determinate test case (16 operations after
+    replication, 0 indeterminate). *)
+
+val base : unit -> Microfluidics.Assay.t
+(** One instance: 8 operations, all determinate. *)
+
+val testcase : unit -> Microfluidics.Assay.t
+(** The paper's case 1: two replicated instances, 16 operations. *)
+
+val base_op_count : int
+val replication : int

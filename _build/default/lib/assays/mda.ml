@@ -1,0 +1,39 @@
+open Microfluidics
+open Components
+
+let base_op_count = 5
+let replication = 12
+
+let base () =
+  let a = Assay.create ~name:"single-cell-mda" in
+  let fixed m = Operation.Fixed m in
+  let sort_cell =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Tiny
+      ~accessories:[ Accessory.Cell_trap; Accessory.Optical_system ]
+      ~duration:(Operation.Indeterminate { min_minutes = 12 })
+      "sort-single-cell"
+  in
+  let lyse =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Tiny
+      ~duration:(fixed 15) "alkaline-lysis"
+  in
+  let neutralise =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Tiny
+      ~duration:(fixed 5) "neutralise"
+  in
+  let amplify =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Small
+      ~accessories:[ Accessory.Heating_pad ] ~duration:(fixed 60)
+      "mda-amplify"
+  in
+  let quantify =
+    Assay.add_operation a ~accessories:[ Accessory.Optical_system ]
+      ~duration:(fixed 6) "quantify-dna"
+  in
+  Assay.add_dependency a ~parent:sort_cell ~child:lyse;
+  Assay.add_dependency a ~parent:lyse ~child:neutralise;
+  Assay.add_dependency a ~parent:neutralise ~child:amplify;
+  Assay.add_dependency a ~parent:amplify ~child:quantify;
+  a
+
+let testcase () = Assay.replicate (base ()) ~copies:replication

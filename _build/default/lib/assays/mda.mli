@@ -1,0 +1,18 @@
+(** Additional protocol: nanoliter-reactor multiple displacement
+    amplification of single-cell genomes (Marcy et al., PLoS Genet. 2007 —
+    reference [12] of the paper).
+
+    The paper cites this work for run-time indeterminacy: cells are
+    detected by fluorescence and the capture is rerun when the count is not
+    one, so the sorting operation cannot occupy a fixed slot. Not part of
+    the paper's evaluation; used by the stress benches and extra
+    examples. *)
+
+val base : unit -> Microfluidics.Assay.t
+(** One pipeline: 5 operations, 1 indeterminate. *)
+
+val testcase : unit -> Microfluidics.Assay.t
+(** 12 replicated pipelines, 60 operations, 12 indeterminate. *)
+
+val base_op_count : int
+val replication : int

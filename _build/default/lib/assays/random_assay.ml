@@ -1,0 +1,67 @@
+open Microfluidics
+open Components
+
+type params = {
+  op_count : int;
+  indeterminate_fraction : float;
+  edge_probability : float;
+  max_duration : int;
+}
+
+let default_params =
+  { op_count = 20; indeterminate_fraction = 0.2; edge_probability = 0.15; max_duration = 30 }
+
+(* Small deterministic PRNG (xorshift), independent from Stdlib.Random so
+   test outcomes never depend on global state. *)
+type rng = { mutable s : int }
+
+let rng_make seed = { s = (if seed = 0 then 0x2545F491 else seed land max_int) }
+
+let rng_int r bound =
+  r.s <- r.s lxor (r.s lsl 13) land max_int;
+  r.s <- r.s lxor (r.s lsr 7);
+  r.s <- r.s lxor (r.s lsl 17) land max_int;
+  abs r.s mod bound
+
+let rng_float r = float_of_int (rng_int r 1_000_000) /. 1_000_000.0
+
+let pick r l = List.nth l (rng_int r (List.length l))
+
+let generate ~seed params =
+  if params.op_count < 1 then invalid_arg "Random_assay.generate: op_count";
+  let r = rng_make (seed * 2654435761 + 1) in
+  let a = Assay.create ~name:(Printf.sprintf "random-%d" seed) in
+  for i = 0 to params.op_count - 1 do
+    let container =
+      match rng_int r 3 with
+      | 0 -> Some Container.Ring
+      | 1 -> Some Container.Chamber
+      | _ -> None
+    in
+    let capacity =
+      match container with
+      | Some c -> if rng_int r 2 = 0 then Some (pick r (Container.allowed_capacities c)) else None
+      | None -> None
+    in
+    let accessories =
+      List.filter (fun _ -> rng_int r 4 = 0) Accessory.all
+    in
+    let duration =
+      let d = 1 + rng_int r params.max_duration in
+      if rng_float r < params.indeterminate_fraction then
+        Operation.Indeterminate { min_minutes = d }
+      else Operation.Fixed d
+    in
+    ignore
+      (Assay.add_operation a ?container ?capacity ~accessories ~duration
+         (Printf.sprintf "op%d" i))
+  done;
+  (* edges only forward: acyclic by construction; an indeterminate op keeps
+     its children (the layering algorithm must cope with that) *)
+  for i = 0 to params.op_count - 2 do
+    for j = i + 1 to params.op_count - 1 do
+      if rng_float r < params.edge_probability then
+        Assay.add_dependency a ~parent:i ~child:j
+    done
+  done;
+  a

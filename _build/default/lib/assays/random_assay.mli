@@ -1,0 +1,18 @@
+(** Seeded random assay generation for property-based tests and stress
+    benches. Deterministic for a given seed. *)
+
+type params = {
+  op_count : int;
+  indeterminate_fraction : float;  (** in [0, 1] *)
+  edge_probability : float;  (** chance of an edge (i, j), i < j *)
+  max_duration : int;  (** minutes, >= 1 *)
+}
+
+val default_params : params
+(** 20 ops, 20% indeterminate, 15% edges, durations up to 30 minutes. *)
+
+val generate : seed:int -> params -> Microfluidics.Assay.t
+(** Operations get random component requirements (possibly unspecified
+    container/capacity and a random accessory subset) and a random DAG of
+    dependencies (edges only from lower to higher id, so acyclicity is by
+    construction). *)

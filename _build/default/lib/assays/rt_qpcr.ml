@@ -1,0 +1,45 @@
+open Microfluidics
+open Components
+
+let base_op_count = 6
+let replication = 20
+
+let base () =
+  let a = Assay.create ~name:"single-cell-rt-qpcr" in
+  let fixed m = Operation.Fixed m in
+  let capture =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Tiny
+      ~accessories:[ Accessory.Cell_trap; Accessory.Optical_system ]
+      ~duration:(Operation.Indeterminate { min_minutes = 10 })
+      "capture-cell"
+  in
+  let wash =
+    Assay.add_operation a ~accessories:[ Accessory.Sieve_valve ]
+      ~duration:(fixed 5) "wash"
+  in
+  let lyse =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Tiny
+      ~duration:(fixed 10) "lyse"
+  in
+  let reverse_transcription =
+    Assay.add_operation a ~container:Container.Chamber ~capacity:Capacity.Small
+      ~accessories:[ Accessory.Heating_pad ] ~duration:(fixed 30)
+      "reverse-transcription"
+  in
+  let qpcr =
+    Assay.add_operation a ~container:Container.Ring ~capacity:Capacity.Medium
+      ~accessories:[ Accessory.Pump; Accessory.Heating_pad; Accessory.Optical_system ]
+      ~duration:(fixed 40) "qpcr"
+  in
+  let analyze =
+    Assay.add_operation a ~accessories:[ Accessory.Optical_system ]
+      ~duration:(fixed 5) "analyze"
+  in
+  Assay.add_dependency a ~parent:capture ~child:wash;
+  Assay.add_dependency a ~parent:wash ~child:lyse;
+  Assay.add_dependency a ~parent:lyse ~child:reverse_transcription;
+  Assay.add_dependency a ~parent:reverse_transcription ~child:qpcr;
+  Assay.add_dependency a ~parent:qpcr ~child:analyze;
+  a
+
+let testcase () = Assay.replicate (base ()) ~copies:replication

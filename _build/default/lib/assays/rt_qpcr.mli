@@ -1,0 +1,16 @@
+(** Test case 3: high-throughput single-cell RT-qPCR (White et al., PNAS
+    2011 — reference [17] of the paper).
+
+    Cell capture is indeterminate; reverse transcription and qPCR demand
+    precise thermal control, which is exactly why a pre-generated schedule
+    (not pure run-time decisions) matters. Replicated to the paper's 120
+    operations with 20 indeterminate ones. *)
+
+val base : unit -> Microfluidics.Assay.t
+(** One cell's pipeline: 6 operations, 1 indeterminate. *)
+
+val testcase : unit -> Microfluidics.Assay.t
+(** The paper's case 3: 20 instances, 120 operations, 20 indeterminate. *)
+
+val base_op_count : int
+val replication : int

@@ -1,0 +1,1 @@
+lib/cohls/baseline.ml: Binding Schedule Synthesis

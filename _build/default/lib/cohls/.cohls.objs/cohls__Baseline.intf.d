@@ -1,0 +1,1 @@
+lib/cohls/baseline.mli: Microfluidics Synthesis

@@ -1,0 +1,1 @@
+lib/cohls/binding.ml: Components Device Microfluidics Operation

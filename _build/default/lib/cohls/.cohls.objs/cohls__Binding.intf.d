@@ -1,0 +1,1 @@
+lib/cohls/binding.mli: Components Device Microfluidics Operation

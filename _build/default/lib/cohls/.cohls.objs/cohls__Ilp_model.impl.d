@@ -1,0 +1,1 @@
+lib/cohls/ilp_model.ml: Array Binding Capacity Components Container Cost Device Float Flowgraph Fun Hashtbl Layering List Lp Microfluidics Numeric Operation Printf Schedule

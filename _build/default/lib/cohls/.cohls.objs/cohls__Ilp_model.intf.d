@@ -1,0 +1,1 @@
+lib/cohls/ilp_model.mli: Binding Cost Device Flowgraph Layering Lp Microfluidics Operation Schedule

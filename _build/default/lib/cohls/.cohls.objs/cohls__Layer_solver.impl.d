@@ -1,0 +1,1 @@
+lib/cohls/layer_solver.ml: Array Binding Cost Device Flowgraph Ilp_model Layering List List_scheduler Lp Microfluidics Operation Option Schedule

@@ -1,0 +1,1 @@
+lib/cohls/layer_solver.mli: Binding Cost Device Flowgraph Layering Lp Microfluidics Operation Schedule

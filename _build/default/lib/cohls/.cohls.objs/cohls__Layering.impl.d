@@ -1,0 +1,1 @@
+lib/cohls/layering.ml: Array Assay Flowgraph Format Fun Hashtbl Int List Microfluidics Operation Printf Set String

@@ -1,0 +1,1 @@
+lib/cohls/layering.mli: Assay Format Microfluidics

@@ -1,0 +1,1 @@
+lib/cohls/list_scheduler.ml: Array Binding Cost Device Flowgraph Hashtbl Layering List Microfluidics Operation Schedule

@@ -1,0 +1,1 @@
+lib/cohls/list_scheduler.mli: Binding Cost Device Flowgraph Layering Microfluidics Operation Schedule

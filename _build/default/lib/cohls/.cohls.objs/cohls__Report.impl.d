@@ -1,0 +1,1 @@
+lib/cohls/report.ml: Array Binding Buffer Float Format List Microfluidics Printf Schedule String Synthesis

@@ -1,0 +1,1 @@
+lib/cohls/report.mli: Format Synthesis

@@ -1,0 +1,1 @@
+lib/cohls/runtime.ml: Array Assay List Microfluidics Operation Printf Schedule Stdlib

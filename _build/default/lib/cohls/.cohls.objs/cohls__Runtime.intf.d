@@ -1,0 +1,1 @@
+lib/cohls/runtime.mli: Microfluidics Schedule

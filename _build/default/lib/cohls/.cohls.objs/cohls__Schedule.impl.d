@@ -1,0 +1,1 @@
+lib/cohls/schedule.ml: Array Assay Binding Chip Flowgraph Format Layering List Microfluidics Operation Option Printf String Transport

@@ -1,0 +1,1 @@
+lib/cohls/schedule.mli: Assay Binding Chip Cost Format Layering Microfluidics Transport

@@ -1,0 +1,1 @@
+lib/cohls/static_baseline.ml: Array Assay Components Flowgraph Hashtbl List Microfluidics Operation Schedule Synthesis

@@ -1,0 +1,1 @@
+lib/cohls/static_baseline.mli: Assay Microfluidics Schedule Synthesis

@@ -1,0 +1,1 @@
+lib/cohls/synthesis.ml: Array Assay Binding Chip Cost Device Flowgraph Hashtbl Layer_solver Layering Layout List Microfluidics Schedule Transport Unix

@@ -1,0 +1,1 @@
+lib/cohls/synthesis.mli: Assay Binding Cost Layer_solver Layering Microfluidics Schedule Transport

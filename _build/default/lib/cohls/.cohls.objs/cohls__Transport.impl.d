@@ -1,0 +1,1 @@
+lib/cohls/transport.ml: Array Format Hashtbl List Microfluidics

@@ -1,0 +1,1 @@
+lib/cohls/transport.mli: Format Microfluidics

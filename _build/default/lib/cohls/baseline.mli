@@ -1,0 +1,14 @@
+(** The modified conventional synthesis method used as the comparison point
+    in the paper's §5.
+
+    The paper upgrades the classical functionality-type flow just enough to
+    run on the same inputs: operations and devices are classified by their
+    {e component requirements} (not by function names), binding demands an
+    exact class match, and the layering + progressive re-synthesis machinery
+    is grafted on so indeterminate operations are supported. In this code
+    base that is exactly {!Synthesis.run} under the
+    {!Binding.Exact_signature} rule; this module is the named entry point. *)
+
+val run : ?config:Synthesis.config -> Microfluidics.Assay.t -> Synthesis.result
+(** [run assay] with a default of {!Synthesis.conventional_config}; a custom
+    [config] has its binding rule forced to {!Binding.Exact_signature}. *)

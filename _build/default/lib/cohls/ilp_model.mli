@@ -1,0 +1,64 @@
+(** Per-layer ILP construction (paper §4, constraints (1)–(21)).
+
+    One model schedules and binds a single layer against a set of device
+    {e slots}: inherited devices arrive as [Fixed] slots (their configuration
+    is given and their integration cost is sunk, per the §3.2 inheritance
+    rule); [Free] slots may be configured by the model, paying area and
+    processing cost.
+
+    Faithfulness notes (documented deviations, see DESIGN.md):
+    - constraints (1)–(4) are reformulated with one binary per
+      (container, capacity) pair, which is required to price a medium ring
+      differently from a medium chamber in (16)–(17) — the two formulations
+      are otherwise equivalent, and unused slots are not forced to pick a
+      container;
+    - (15) includes the transportation time in the makespan, matching the
+      schedule validator (the device stays monopolised during transport, as
+      (10)–(11) already assume);
+    - indeterminate operations additionally get "last on their device" and
+      "pairwise distinct devices" constraints: (10)–(14) alone would allow a
+      determinate operation to start exactly at an indeterminate one's
+      minimum end on the same device, which breaks when it overruns. *)
+
+open Microfluidics
+
+type slot = Fixed of Device.t | Free of { id : int }
+(** [Free {id}] pre-allocates the global device id the slot will take if
+    used. *)
+
+type spec = {
+  ops : Operation.t array;  (** the whole assay's operations *)
+  graph : Flowgraph.Digraph.t;
+  layer : Layering.layer;
+  layer_of_op : int array;
+  bound_before : int -> int option;
+      (** device of an operation from an earlier layer (for cross-layer
+          transportation paths) *)
+  slots : slot array;
+  rule : Binding.rule;
+  transport : int -> int;
+  cost : Cost.t;
+  weights : Schedule.weights;
+  existing_paths : (int * int) list;
+      (** already-routed device pairs; reusing them is free *)
+}
+
+type built
+(** The constructed model plus the variable maps needed for extraction. *)
+
+val model : built -> Lp.Model.t
+val horizon : built -> int
+
+val build : spec -> built
+(** @raise Invalid_argument when an operation of the layer fits no slot
+    under the given rule (the caller should add free slots). *)
+
+val warm_start : built -> Schedule.entry list -> float array option
+(** Translate a heuristic layer schedule into an assignment of the model's
+    variables, mapping freshly created devices onto free slots. Returns
+    [None] when the entries use devices that cannot be mapped. *)
+
+val extract :
+  built -> values:float array -> Schedule.entry list * Device.t list
+(** Entries (ascending start) and the devices instantiated in free slots.
+    @raise Failure on a malformed solution vector. *)

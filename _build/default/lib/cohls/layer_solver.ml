@@ -1,0 +1,124 @@
+open Microfluidics
+
+type engine =
+  | Heuristic
+  | Ilp of { options : Lp.Branch_bound.options; extra_free_slots : int }
+
+let default_ilp =
+  Ilp
+    {
+      options =
+        {
+          Lp.Branch_bound.default_options with
+          Lp.Branch_bound.time_limit = Some 10.0;
+        };
+      extra_free_slots = 1;
+    }
+
+type input = {
+  ops : Operation.t array;
+  graph : Flowgraph.Digraph.t;
+  layer : Layering.layer;
+  layer_of_op : int array;
+  bound_before : int -> int option;
+  available : Device.t list;
+  rule : Binding.rule;
+  max_devices : int;
+  transport : int -> int;
+  cost : Cost.t;
+  weights : Schedule.weights;
+  existing_paths : (int * int) list;
+  device_penalty : int -> int;
+}
+
+type output = {
+  entries : Schedule.entry list;
+  fixed_makespan : int;
+  created : Device.t list;
+  used_ilp : bool;
+}
+
+let run_heuristic input ~fresh_id =
+  let cfg =
+    {
+      List_scheduler.rule = input.rule;
+      max_devices = input.max_devices;
+      cost = input.cost;
+      weights = input.weights;
+      device_penalty = input.device_penalty;
+    }
+  in
+  List_scheduler.schedule_layer cfg ~ops:input.ops ~graph:input.graph
+    ~layer:input.layer ~layer_of_op:input.layer_of_op
+    ~bound_before:input.bound_before ~available:input.available
+    ~transport:input.transport ~existing_paths:input.existing_paths ~fresh_id
+
+let solve engine input ~fresh_id =
+  let heur = run_heuristic input ~fresh_id in
+  match engine with
+  | Heuristic ->
+    {
+      entries = heur.List_scheduler.entries;
+      fixed_makespan = heur.List_scheduler.fixed_makespan;
+      created = heur.List_scheduler.created;
+      used_ilp = false;
+    }
+  | Ilp { options; extra_free_slots } ->
+    let n_created = List.length heur.List_scheduler.created in
+    let n_avail = List.length input.available in
+    let free_count =
+      min (n_created + extra_free_slots) (max 0 (input.max_devices - n_avail))
+    in
+    let slots =
+      Array.of_list
+        (List.map (fun d -> Ilp_model.Fixed d) input.available
+        @ List.init free_count (fun _ -> Ilp_model.Free { id = fresh_id () }))
+    in
+    let spec =
+      {
+        Ilp_model.ops = input.ops;
+        graph = input.graph;
+        layer = input.layer;
+        layer_of_op = input.layer_of_op;
+        bound_before = input.bound_before;
+        slots;
+        rule = input.rule;
+        transport = input.transport;
+        cost = input.cost;
+        weights = input.weights;
+        existing_paths = input.existing_paths;
+      }
+    in
+    let built = Ilp_model.build spec in
+    let lp = Ilp_model.model built in
+    let warm = Ilp_model.warm_start built heur.List_scheduler.entries in
+    let warm_obj =
+      Option.map (fun values -> Lp.Model.eval_objective lp (fun v -> values.(v))) warm
+    in
+    let result = Lp.Branch_bound.solve ~options ?warm_start:warm lp in
+    let use_ilp, values =
+      match (result.Lp.Branch_bound.values, result.Lp.Branch_bound.objective, warm_obj) with
+      | Some values, Some obj, Some wobj -> (obj < wobj -. 1e-6, Some values)
+      | Some values, Some _, None -> (true, Some values)
+      | _, _, _ -> (false, None)
+    in
+    if use_ilp then begin
+      match values with
+      | None -> assert false
+      | Some values ->
+        let entries, created = Ilp_model.extract built ~values in
+        let fixed_makespan =
+          List.fold_left
+            (fun acc e ->
+              max acc (e.Schedule.start + e.Schedule.min_duration + e.Schedule.transport))
+            0 entries
+        in
+        { entries; fixed_makespan; created; used_ilp = true }
+    end
+    else
+      {
+        entries = heur.List_scheduler.entries;
+        fixed_makespan = heur.List_scheduler.fixed_makespan;
+        created = heur.List_scheduler.created;
+        used_ilp = false;
+      }

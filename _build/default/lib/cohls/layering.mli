@@ -1,0 +1,68 @@
+(** Layering for hybrid scheduling (paper §3.1, Algorithm 1).
+
+    The assay is split into sequential layers so that every indeterminate
+    operation sits at the end of its layer's sub-schedule: the cyber-physical
+    controller then only needs to act at layer boundaries. Two phases per
+    layer:
+
+    - {e dependency-based allocation}: a modified maximum-independent-set
+      pass — repeatedly pick an indeterminate operation with no indeterminate
+      ancestor left in the working set, keep it, and push all its descendants
+      to later layers; finally keep every remaining operation (Fig. 4);
+    - {e resource-based allocation}: while the layer holds more indeterminate
+      operations than the threshold [t], evict the one whose removal is
+      cheapest, where the cost is a Ford–Fulkerson minimum cut between a
+      virtual source (the previous layer) and the operation over its
+      in-layer ancestor subgraph: crossing edges are reagents that must be
+      stored across the boundary; the tie-break prefers cuts moving fewer
+      ancestors (Fig. 5). *)
+
+open Microfluidics
+
+type layer = {
+  index : int;
+  ops : int list;  (** ascending op ids *)
+  indeterminate : int list;  (** subset of [ops] *)
+  stored_transfers : (int * int) list;
+      (** (parent in this or earlier layer, child in a later layer): reagent
+          transfers crossing this layer's boundary because eviction split a
+          dependency — each occupies one storage unit (Fig. 5). *)
+}
+
+type t = {
+  assay : Assay.t;
+  threshold : int;
+  layers : layer array;
+  layer_of_op : int array;
+}
+
+type choice =
+  | Smallest_id  (** deterministic; the default *)
+  | Seeded of int
+      (** pseudo-random pick among the eligible indeterminate operations —
+          the paper's literal "randomly choose" (§3.1), reproducible per
+          seed; the ablation bench measures how little the outcome depends
+          on it *)
+
+val compute : ?threshold:int -> ?choice:choice -> Assay.t -> t
+(** Default [threshold = 10] (the paper's experimental setting) and
+    [choice = Smallest_id].
+    @raise Invalid_argument if [threshold < 1] or the assay fails
+    validation. *)
+
+val layer_count : t -> int
+val storage_units : t -> int
+(** Total stored transfers over all boundaries. *)
+
+val check : ?strict:bool -> t -> (unit, string) result
+(** Verifies the structural invariants: the layers partition the operation
+    set; dependencies never point to an earlier layer; descendants of an
+    indeterminate operation live in strictly later layers. With
+    [strict = true] (default) additionally: every layer except possibly the
+    last contains an indeterminate operation, and no layer exceeds the
+    indeterminate threshold — properties the paper states but which an
+    eviction cascade can violate on adversarial dependency graphs (the
+    implementation then prefers keeping a boundary operation over the
+    threshold). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+type comparison_row = {
+  testcase : string;
+  op_count : int;
+  indeterminate_count : int;
+  conventional : Synthesis.result;
+  ours : Synthesis.result;
+}
+
+let indet_layer_suffix (r : Synthesis.result) =
+  let layers = r.Synthesis.final.Schedule.layers in
+  let buf = Buffer.create 8 in
+  Array.iter
+    (fun (l : Schedule.layer_schedule) ->
+      let has_indet =
+        List.exists (fun (e : Schedule.entry) -> e.Schedule.indeterminate) l.Schedule.entries
+      in
+      if has_indet then
+        Buffer.add_string buf (Printf.sprintf "+I%d" (l.Schedule.layer_index + 1)))
+    layers;
+  Buffer.contents buf
+
+let exe_time_string r =
+  Printf.sprintf "%dm%s" r.Synthesis.final_breakdown.Schedule.fixed_minutes
+    (indet_layer_suffix r)
+
+let runtime_string seconds =
+  if seconds >= 60.0 then
+    Printf.sprintf "%dm%.0fs" (int_of_float seconds / 60) (Float.rem seconds 60.0)
+  else Printf.sprintf "%.3fs" seconds
+
+let table2 fmt rows =
+  Format.fprintf fmt
+    "@[<v>Table 2: Synthesis Results for Bioassays@,\
+     %-14s %5s %8s | %-12s %4s %4s %10s@,"
+    "Testcase" "#Op" "#Ind.Op" "Exe.Time" "#D." "#P." "Runtime";
+  Format.fprintf fmt "%s@," (String.make 66 '-');
+  let emit row =
+    let line tag (r : Synthesis.result) =
+      Format.fprintf fmt "%-14s %5d %8d | %-12s %4d %4d %10s  (%s)@," row.testcase
+        row.op_count row.indeterminate_count (exe_time_string r)
+        r.Synthesis.final_breakdown.Schedule.devices
+        r.Synthesis.final_breakdown.Schedule.paths
+        (runtime_string r.Synthesis.runtime_seconds)
+        tag
+    in
+    line "Conv." row.conventional;
+    line "Our" row.ours;
+    Format.fprintf fmt "%s@," (String.make 66 '-')
+  in
+  List.iter emit rows;
+  Format.fprintf fmt "@]"
+
+let table3 fmt entries =
+  Format.fprintf fmt
+    "@[<v>Table 3: Improvement from Progressive Re-Synthesis@,\
+     %-12s %-10s %10s %10s %10s@," "Testcase" "Metric" "Initial" "Ite."
+    "Improve";
+  Format.fprintf fmt "%s@," (String.make 58 '-');
+  let emit (name, (r : Synthesis.result)) =
+    let iters = r.Synthesis.iterations in
+    let history = Synthesis.improvement_history r in
+    let time_cells =
+      List.map
+        (fun (it : Synthesis.iteration) ->
+          Printf.sprintf "%dm" it.Synthesis.breakdown.Schedule.fixed_minutes)
+        iters
+    in
+    let dev_cells =
+      List.map
+        (fun (it : Synthesis.iteration) ->
+          string_of_int it.Synthesis.breakdown.Schedule.devices)
+        iters
+    in
+    let impr_cells =
+      "-" :: List.map (fun (_, f) -> Printf.sprintf "%.2f%%" (100.0 *. f)) history
+    in
+    let row metric cells imprs =
+      Format.fprintf fmt "%-12s %-10s" name metric;
+      List.iter2
+        (fun c i -> Format.fprintf fmt " %8s %8s" c i)
+        cells imprs;
+      Format.fprintf fmt "@,"
+    in
+    row "Exe.Time" time_cells impr_cells;
+    row "#D." dev_cells (List.map (fun _ -> "") dev_cells);
+    Format.fprintf fmt "%s@," (String.make 58 '-')
+  in
+  List.iter emit entries;
+  Format.fprintf fmt "@]"
+
+let schedule_summary fmt (r : Synthesis.result) =
+  let b = r.Synthesis.final_breakdown in
+  Format.fprintf fmt
+    "@[<v>%s, %s rule: %d layers, fixed time %dm%s, %d devices, %d paths,@ \
+     area %d, processing %d, weighted objective %d, %d re-synthesis \
+     iteration(s), runtime %s@]"
+    (Microfluidics.Assay.name r.Synthesis.final.Schedule.assay)
+    (Binding.rule_name r.Synthesis.config.Synthesis.rule)
+    (Array.length r.Synthesis.final.Schedule.layers)
+    b.Schedule.fixed_minutes (indet_layer_suffix r) b.Schedule.devices
+    b.Schedule.paths b.Schedule.area b.Schedule.processing b.Schedule.weighted
+    (List.length r.Synthesis.iterations)
+    (runtime_string r.Synthesis.runtime_seconds)

@@ -1,0 +1,24 @@
+(** Rendering synthesis results in the layout of the paper's tables. *)
+
+type comparison_row = {
+  testcase : string;
+  op_count : int;
+  indeterminate_count : int;
+  conventional : Synthesis.result;
+  ours : Synthesis.result;
+}
+
+val exe_time_string : Synthesis.result -> string
+(** Fixed minutes plus one symbolic [+I_k] per layer ending in indeterminate
+    operations, e.g. ["244m+I1"]. *)
+
+val table2 : Format.formatter -> comparison_row list -> unit
+(** The paper's Table 2: per test case, conventional vs ours on execution
+    time, device count, path count and program runtime. *)
+
+val table3 : Format.formatter -> (string * Synthesis.result) list -> unit
+(** The paper's Table 3: execution time and device count per progressive
+    re-synthesis iteration, with relative improvements. *)
+
+val schedule_summary : Format.formatter -> Synthesis.result -> unit
+(** One-paragraph summary: layers, devices, paths, costs, runtime. *)

@@ -1,0 +1,111 @@
+open Microfluidics
+
+type oracle = int -> int
+
+let deterministic_oracle ~extra assay =
+  let ops = Assay.operations assay in
+  fun op -> Operation.min_duration ops.(op) + extra
+
+let seeded_oracle ~seed ~max_extra assay =
+  let ops = Assay.operations assay in
+  fun op ->
+    (* splitmix-style hash of (seed, op): reproducible, no global state *)
+    let h = ref (seed * 0x9E3779B1 + (op * 0x85EBCA77)) in
+    h := !h lxor (!h lsr 13);
+    h := !h * 0xC2B2AE35;
+    h := !h lxor (!h lsr 16);
+    let extra = if max_extra <= 0 then 0 else abs !h mod (max_extra + 1) in
+    Operation.min_duration ops.(op) + extra
+
+let retry_oracle ~seed ~success_probability ~attempt_minutes assay =
+  if not (success_probability > 0.0 && success_probability <= 1.0) then
+    invalid_arg "Runtime.retry_oracle: success_probability must be in (0, 1]";
+  if attempt_minutes <= 0 then
+    invalid_arg "Runtime.retry_oracle: attempt_minutes must be positive";
+  let ops = Assay.operations assay in
+  fun op ->
+    (* one hash per (seed, op, attempt); attempt succeeds when the hashed
+       uniform value falls below the success probability *)
+    let uniform attempt =
+      let h = ref (seed * 0x9E3779B1 + (op * 0x85EBCA77) + (attempt * 0xC2B2AE3D)) in
+      h := !h lxor (!h lsr 13);
+      h := !h * 0x27D4EB2F;
+      h := !h lxor (!h lsr 15);
+      float_of_int (abs !h mod 1_000_000) /. 1_000_000.0
+    in
+    let rec attempts k =
+      if k >= 50 then 50
+      else if uniform k < success_probability then k + 1
+      else attempts (k + 1)
+    in
+    let n = attempts 0 in
+    Stdlib.max (Operation.min_duration ops.(op)) (n * attempt_minutes)
+
+type event = {
+  time : int;
+  op : int;
+  device : int;
+  kind : [ `Start | `Finish ];
+}
+
+type trace = {
+  events : event list;
+  layer_boundaries : (int * int) list;
+  total_minutes : int;
+  waits : (int * int) list;
+}
+
+let execute (s : Schedule.t) oracle =
+  let ops = Assay.operations s.Schedule.assay in
+  let exception Bad of string in
+  try
+    let clock = ref 0 in
+    let events = ref [] in
+    let boundaries = ref [] in
+    let waits = ref [] in
+    Array.iter
+      (fun (l : Schedule.layer_schedule) ->
+        let layer_start = !clock in
+        let layer_end = ref (layer_start + l.Schedule.fixed_makespan) in
+        List.iter
+          (fun (e : Schedule.entry) ->
+            let start = layer_start + e.Schedule.start in
+            let duration =
+              if e.Schedule.indeterminate then begin
+                let d = oracle e.Schedule.op in
+                if d < Operation.min_duration ops.(e.Schedule.op) then
+                  raise
+                    (Bad
+                       (Printf.sprintf
+                          "oracle returned %d < minimum %d for op %d" d
+                          (Operation.min_duration ops.(e.Schedule.op))
+                          e.Schedule.op));
+                d
+              end
+              else e.Schedule.min_duration
+            in
+            let finish = start + duration + e.Schedule.transport in
+            events :=
+              { time = start; op = e.Schedule.op; device = e.Schedule.device; kind = `Start }
+              :: { time = finish; op = e.Schedule.op; device = e.Schedule.device; kind = `Finish }
+              :: !events;
+            if finish > !layer_end then layer_end := finish)
+          l.Schedule.entries;
+        let fixed_end = layer_start + l.Schedule.fixed_makespan in
+        waits := (l.Schedule.layer_index, !layer_end - fixed_end) :: !waits;
+        boundaries := (l.Schedule.layer_index, !layer_end) :: !boundaries;
+        clock := !layer_end)
+      s.Schedule.layers;
+    let events =
+      List.sort
+        (fun a b -> compare (a.time, a.op, a.kind) (b.time, b.op, b.kind))
+        !events
+    in
+    Ok
+      {
+        events;
+        layer_boundaries = List.rev !boundaries;
+        total_minutes = !clock;
+        waits = List.rev !waits;
+      }
+  with Bad msg -> Error msg

@@ -1,0 +1,57 @@
+(** Hybrid-schedule execution (the cyber-physical side of the paper).
+
+    A hybrid schedule fixes everything except the real durations of
+    indeterminate operations. This executor replays a synthesis result as a
+    discrete-event simulation: layers run back to back; inside a layer every
+    operation keeps its scheduled offset; the layer ends when its fixed part
+    is over {e and} every indeterminate operation has really finished, the
+    actual durations being drawn from a pluggable oracle (a lab instrument,
+    a human observer — here a function). This is the substitute for the
+    paper's cyber-physical integration, exercising exactly the
+    layer-boundary decision points the layering algorithm creates. *)
+
+type oracle = int -> int
+(** [oracle op] is the {e actual} duration of indeterminate operation [op];
+    it must be at least the operation's minimum duration. *)
+
+val deterministic_oracle : extra:int -> Microfluidics.Assay.t -> oracle
+(** Every indeterminate operation takes [min + extra]. *)
+
+val seeded_oracle : seed:int -> max_extra:int -> Microfluidics.Assay.t -> oracle
+(** Pseudo-random extra in [0 .. max_extra], reproducible for a seed
+    (deterministic per (seed, op)). *)
+
+val retry_oracle :
+  seed:int ->
+  success_probability:float ->
+  attempt_minutes:int ->
+  Microfluidics.Assay.t ->
+  oracle
+(** The paper's motivating indeterminacy model: a single-cell capture
+    succeeds with fixed probability per attempt (~53% in reference [11]),
+    the outcome is checked optically and failed captures rerun, so the
+    duration is [attempts * attempt_minutes] with geometrically distributed
+    attempts (deterministic per (seed, op); at least the operation's
+    minimum duration; attempts capped at 50).
+    @raise Invalid_argument unless [0 < success_probability <= 1] and
+    [attempt_minutes > 0]. *)
+
+type event = {
+  time : int;  (** absolute assay time, minutes *)
+  op : int;
+  device : int;
+  kind : [ `Start | `Finish ];
+}
+
+type trace = {
+  events : event list;  (** ascending time *)
+  layer_boundaries : (int * int) list;  (** (layer index, absolute end time) *)
+  total_minutes : int;
+  waits : (int * int) list;
+      (** per layer: extra minutes spent past the fixed part waiting for
+          indeterminate operations (the realised I_k of the paper) *)
+}
+
+val execute : Schedule.t -> oracle -> (trace, string) result
+(** Fails when the oracle returns less than an operation's minimum
+    duration. *)

@@ -1,0 +1,101 @@
+open Microfluidics
+
+type exposure = { exposed_slots : int; total_slots : int; worst_chain : int }
+
+(* Rebuild the assay with indeterminacy erased. *)
+let determinise assay =
+  let det = Assay.create ~name:(Assay.name assay ^ "-static") in
+  Array.iter
+    (fun (o : Operation.t) ->
+      let duration = Operation.Fixed (Operation.min_duration o) in
+      ignore
+        (Assay.add_operation det ?container:o.Operation.container
+           ?capacity:o.Operation.capacity
+           ~accessories:(Components.Accessory.Set.elements o.Operation.accessories)
+           ~duration o.Operation.name))
+    (Assay.operations assay);
+  Flowgraph.Digraph.iter_edges
+    (fun u v -> Assay.add_dependency det ~parent:u ~child:v)
+    (Assay.dependency_graph assay);
+  det
+
+let static_schedule ?(config = Synthesis.default_config) assay =
+  let det = determinise assay in
+  let r = Synthesis.run ~config det in
+  r.Synthesis.final
+
+let exposure_of (s : Schedule.t) ~original =
+  let ops = Assay.operations original in
+  (* absolute start and minimum end per op, concatenating layers *)
+  let abs = Hashtbl.create 64 in
+  let offset = ref 0 in
+  Array.iter
+    (fun (l : Schedule.layer_schedule) ->
+      List.iter
+        (fun (e : Schedule.entry) ->
+          Hashtbl.replace abs e.Schedule.op
+            (!offset + e.Schedule.start, !offset + e.Schedule.start + e.Schedule.min_duration))
+        l.Schedule.entries;
+      offset := !offset + l.Schedule.fixed_makespan)
+    s.Schedule.layers;
+  let total_slots = Hashtbl.length abs in
+  let indets =
+    Array.to_list ops
+    |> List.filter_map (fun (o : Operation.t) ->
+           if Operation.is_indeterminate o then Hashtbl.find_opt abs o.Operation.id
+           else None)
+  in
+  let exposed = Hashtbl.create 64 in
+  let worst = ref 0 in
+  List.iter
+    (fun (_, min_end) ->
+      let count = ref 0 in
+      Hashtbl.iter
+        (fun op (start, _) ->
+          if start > min_end then begin
+            incr count;
+            Hashtbl.replace exposed op ()
+          end)
+        abs;
+      if !count > !worst then worst := !count)
+    indets;
+  { exposed_slots = Hashtbl.length exposed; total_slots; worst_chain = !worst }
+
+(* Hybrid exposure: inside a layer constraint (14) protects every slot; a
+   slot is only exposed to indeterminate ops of ITS OWN layer (boundary
+   shifts are controlled, not breaking). *)
+let hybrid_exposure (s : Schedule.t) ~original =
+  let ops = Assay.operations original in
+  let exposed = Hashtbl.create 16 in
+  let worst = ref 0 in
+  let total = ref 0 in
+  Array.iter
+    (fun (l : Schedule.layer_schedule) ->
+      total := !total + List.length l.Schedule.entries;
+      let indets =
+        List.filter_map
+          (fun (e : Schedule.entry) ->
+            if Operation.is_indeterminate ops.(e.Schedule.op) then
+              Some (e.Schedule.start + e.Schedule.min_duration)
+            else None)
+          l.Schedule.entries
+      in
+      List.iter
+        (fun min_end ->
+          let count = ref 0 in
+          List.iter
+            (fun (e : Schedule.entry) ->
+              if e.Schedule.start > min_end then begin
+                incr count;
+                Hashtbl.replace exposed e.Schedule.op ()
+              end)
+            l.Schedule.entries;
+          if !count > !worst then worst := !count)
+        indets)
+    s.Schedule.layers;
+  { exposed_slots = Hashtbl.length exposed; total_slots = !total; worst_chain = !worst }
+
+let compare_hybrid ?(config = Synthesis.default_config) assay =
+  let static = static_schedule ~config assay in
+  let hybrid = (Synthesis.run ~config assay).Synthesis.final in
+  (exposure_of static ~original:assay, hybrid_exposure hybrid ~original:assay)

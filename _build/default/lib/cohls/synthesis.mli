@@ -1,0 +1,67 @@
+(** Top-level synthesis driver: layering → per-layer solving with device
+    inheritance → progressive re-synthesis with transportation refinement
+    (paper §3–§4).
+
+    The first pass inherits devices forward only (layer [i] sees everything
+    integrated for layers [< i]). Re-synthesis passes make the whole
+    previous chip visible to every layer; a layer pays the integration cost
+    again on first use of its own previous devices [D'_i], so it
+    re-justifies them against devices other layers account for — the
+    cost-transparent realisation of §3.2's [D \ D'_i] inheritance (see
+    DESIGN.md). Every operation's transportation time is re-estimated from
+    the previous pass's path usage (§4.1). A pass is accepted only when the
+    weighted objective improves; iteration stops when the execution-time
+    gain becomes marginal or the iteration cap is hit. *)
+
+open Microfluidics
+
+type config = {
+  rule : Binding.rule;
+  threshold : int;  (** max indeterminate ops per layer *)
+  max_devices : int;  (** |D| *)
+  engine : Layer_solver.engine;
+  cost : Cost.t;
+  weights : Schedule.weights;
+  initial_transport : int;  (** the user constant t of §4.1 *)
+  progression : Transport.progression;
+  max_iterations : int;
+  improvement_threshold : float;
+      (** keep iterating while the relative execution-time gain exceeds
+          this; default [0.02] *)
+  refine_by_layout : bool;
+      (** price paths by grid-layout Manhattan length instead of usage rank *)
+}
+
+val default_config : config
+(** Component-oriented rule, threshold 10, 25 devices, heuristic engine,
+    default costs/weights, t = 10 (the progression's slowest term, i.e. a
+    conservative first estimate), progression 2..10 with 5 terms, at most 5
+    iterations, 2% improvement threshold. *)
+
+val conventional_config : config
+(** Same, with the exact-signature binding rule — the paper's modified
+    conventional baseline of §5. *)
+
+type iteration = {
+  iteration_index : int;
+  schedule : Schedule.t;
+  breakdown : Schedule.breakdown;
+}
+
+type result = {
+  config : config;
+  layering : Layering.t;
+  iterations : iteration list;  (** chronological *)
+  final : Schedule.t;
+  final_breakdown : Schedule.breakdown;
+  runtime_seconds : float;
+}
+
+val run : ?config:config -> Assay.t -> result
+(** @raise List_scheduler.No_device when [max_devices] cannot accommodate
+    the assay.
+    @raise Invalid_argument on an invalid assay. *)
+
+val improvement_history : result -> (int * float) list
+(** Per iteration (>= 1): relative execution-time improvement over the
+    previous one — the numbers of the paper's Table 3. *)

@@ -1,0 +1,1 @@
+lib/control/actuation.ml: Accessory Array Assay Cohls Components Control_layer Flowgraph Format Hashtbl List Microfluidics Operation Option Printf

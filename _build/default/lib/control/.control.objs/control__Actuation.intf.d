@@ -1,0 +1,1 @@
+lib/control/actuation.mli: Cohls Control_layer Format

@@ -1,0 +1,1 @@
+lib/control/control_layer.ml: Accessory Chip Components Device Format Hashtbl List Microfluidics Option Printf

@@ -1,0 +1,1 @@
+lib/control/control_layer.mli: Chip Format Microfluidics

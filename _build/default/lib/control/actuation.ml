@@ -1,0 +1,155 @@
+open Microfluidics
+open Components
+
+type state = Opened | Closed
+
+type event = { minute : int; valve : int; state : state }
+
+type timeline = { events : event list; horizon : int }
+
+(* Per-valve open intervals are collected first and merged, so the emitted
+   stream is alternating by construction even when operations share valves
+   with overlapping windows. *)
+let merge_intervals intervals =
+  let sorted = List.sort compare intervals in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (s, e) :: rest -> begin
+      match acc with
+      | (s0, e0) :: acc' when s <= e0 -> go ((s0, max e0 e) :: acc') rest
+      | _ -> go ((s, e) :: acc) rest
+    end
+  in
+  go [] sorted
+
+let synthesise layer (schedule : Cohls.Schedule.t) =
+  let intervals = Hashtbl.create 64 in
+  let add_interval valve s e =
+    if e > s then begin
+      let cur = Option.value ~default:[] (Hashtbl.find_opt intervals valve) in
+      Hashtbl.replace intervals valve ((s, e) :: cur)
+    end
+  in
+  let ops = Assay.operations schedule.Cohls.Schedule.assay in
+  let device_of = Hashtbl.create 64 in
+  Array.iter
+    (fun (l : Cohls.Schedule.layer_schedule) ->
+      List.iter
+        (fun (e : Cohls.Schedule.entry) ->
+          Hashtbl.replace device_of e.Cohls.Schedule.op e.Cohls.Schedule.device)
+        l.Cohls.Schedule.entries)
+    schedule.Cohls.Schedule.layers;
+  let graph = Assay.dependency_graph schedule.Cohls.Schedule.assay in
+  let offset = ref 0 in
+  let horizon = Cohls.Schedule.total_fixed_minutes schedule in
+  Array.iter
+    (fun (l : Cohls.Schedule.layer_schedule) ->
+      let process (e : Cohls.Schedule.entry) =
+        let dev = e.Cohls.Schedule.device in
+        let dvalves = Control_layer.valves_of_device layer dev in
+        if dvalves = [] then
+          invalid_arg
+            (Printf.sprintf "Actuation.synthesise: device %d not in control layer" dev);
+        let abs_start = !offset + e.Cohls.Schedule.start in
+        let exec_end = abs_start + e.Cohls.Schedule.min_duration in
+        let busy_end = exec_end + e.Cohls.Schedule.transport in
+        let o = ops.(e.Cohls.Schedule.op) in
+        let wants_pump = Accessory.Set.mem Accessory.Pump o.Operation.accessories in
+        let wants_sieve = Accessory.Set.mem Accessory.Sieve_valve o.Operation.accessories in
+        List.iter
+          (fun (v : Control_layer.valve) ->
+            match v.Control_layer.role with
+            | Control_layer.Isolation_inlet | Control_layer.Isolation_outlet ->
+              add_interval v.Control_layer.valve_id abs_start busy_end
+            | Control_layer.Peristaltic _ ->
+              if wants_pump then add_interval v.Control_layer.valve_id abs_start exec_end
+            | Control_layer.Sieve ->
+              if wants_sieve then add_interval v.Control_layer.valve_id abs_start exec_end
+            | Control_layer.Path_gate _ -> ())
+          dvalves;
+        (* transportation windows towards children on other devices *)
+        let transfer child =
+          match Hashtbl.find_opt device_of child with
+          | Some dev' when dev' <> dev ->
+            List.iter
+              (fun (v : Control_layer.valve) ->
+                add_interval v.Control_layer.valve_id exec_end busy_end)
+              (Control_layer.valves_of_path layer dev dev')
+          | Some _ | None -> ()
+        in
+        List.iter transfer (Flowgraph.Digraph.succ graph e.Cohls.Schedule.op)
+      in
+      List.iter process l.Cohls.Schedule.entries;
+      offset := !offset + l.Cohls.Schedule.fixed_makespan)
+    schedule.Cohls.Schedule.layers;
+  let events = ref [] in
+  Hashtbl.iter
+    (fun valve ivals ->
+      List.iter
+        (fun (s, e) ->
+          events :=
+            { minute = s; valve; state = Opened }
+            :: { minute = e; valve; state = Closed }
+            :: !events)
+        (merge_intervals ivals))
+    intervals;
+  let events =
+    List.sort
+      (fun a b -> compare (a.minute, a.valve, a.state) (b.minute, b.valve, b.state))
+      !events
+  in
+  { events; horizon }
+
+let switch_count t = List.length t.events
+
+let validate t =
+  let last_state = Hashtbl.create 32 in
+  let last_close = Hashtbl.create 32 in
+  let error = ref None in
+  let step e =
+    if !error = None then begin
+      let prev =
+        Option.value ~default:Closed (Hashtbl.find_opt last_state e.valve)
+      in
+      if prev = e.state then
+        error :=
+          Some
+            (Printf.sprintf "valve %d switched to its current state at minute %d"
+               e.valve e.minute)
+      else begin
+        Hashtbl.replace last_state e.valve e.state;
+        if e.state = Closed then Hashtbl.replace last_close e.valve e.minute
+      end
+    end
+  in
+  List.iter step t.events;
+  (match !error with
+   | None ->
+     Hashtbl.iter
+       (fun valve st ->
+         if st = Opened then
+           error := Some (Printf.sprintf "valve %d still open at the horizon" valve))
+       last_state
+   | Some _ -> ());
+  (match !error with
+   | None ->
+     Hashtbl.iter
+       (fun valve minute ->
+         if minute > t.horizon then
+           error :=
+             Some
+               (Printf.sprintf "valve %d closes at %d, after the horizon %d" valve
+                  minute t.horizon))
+       last_close
+   | Some _ -> ());
+  match !error with None -> Ok () | Some msg -> Error msg
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>actuation: %d events over %d minutes@," (switch_count t)
+    t.horizon;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  t=%-4d v%-3d %s@," e.minute e.valve
+        (match e.state with Opened -> "open" | Closed -> "close"))
+    t.events;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,96 @@
+open Microfluidics
+open Components
+
+type role =
+  | Isolation_inlet
+  | Isolation_outlet
+  | Peristaltic of int
+  | Sieve
+  | Path_gate of [ `Lo | `Hi ]
+
+type valve = {
+  valve_id : int;
+  role : role;
+  device : int option;
+  path : (int * int) option;
+}
+
+type t = {
+  all : valve list; (* ascending id *)
+  by_device : (int, valve list) Hashtbl.t;
+  by_path : (int * int, valve list) Hashtbl.t;
+  signals : int;
+}
+
+let of_chip chip =
+  let next = ref 0 in
+  let fresh role device path =
+    let v = { valve_id = !next; role; device; path } in
+    incr next;
+    v
+  in
+  let by_device = Hashtbl.create 16 in
+  let by_path = Hashtbl.create 16 in
+  let all = ref [] in
+  let add_device_valve d role =
+    let v = fresh role (Some d.Device.id) None in
+    all := v :: !all;
+    let cur = Option.value ~default:[] (Hashtbl.find_opt by_device d.Device.id) in
+    Hashtbl.replace by_device d.Device.id (cur @ [ v ])
+  in
+  let signals = ref 0 in
+  let process_device (d : Device.t) =
+    add_device_valve d Isolation_inlet;
+    add_device_valve d Isolation_outlet;
+    if Accessory.Set.mem Accessory.Pump d.Device.accessories then
+      for phase = 0 to 2 do
+        add_device_valve d (Peristaltic phase)
+      done;
+    if Accessory.Set.mem Accessory.Sieve_valve d.Device.accessories then
+      add_device_valve d Sieve;
+    if Accessory.Set.mem Accessory.Heating_pad d.Device.accessories then incr signals;
+    if Accessory.Set.mem Accessory.Optical_system d.Device.accessories then incr signals
+  in
+  List.iter process_device (Chip.devices chip);
+  let process_path ((lo, hi), _usage) =
+    let vl = fresh (Path_gate `Lo) None (Some (lo, hi)) in
+    let vh = fresh (Path_gate `Hi) None (Some (lo, hi)) in
+    all := vh :: vl :: !all;
+    Hashtbl.replace by_path (lo, hi) [ vl; vh ]
+  in
+  List.iter process_path (Chip.path_usage chip);
+  { all = List.rev !all; by_device; by_path; signals = !signals }
+
+let valve_count t = List.length t.all
+let valves t = t.all
+
+let valves_of_device t d =
+  Option.value ~default:[] (Hashtbl.find_opt t.by_device d)
+
+let valves_of_path t a b =
+  Option.value ~default:[] (Hashtbl.find_opt t.by_path (min a b, max a b))
+
+let signal_count t = t.signals
+
+let role_string = function
+  | Isolation_inlet -> "iso-in"
+  | Isolation_outlet -> "iso-out"
+  | Peristaltic k -> Printf.sprintf "pump%d" k
+  | Sieve -> "sieve"
+  | Path_gate `Lo -> "gate-lo"
+  | Path_gate `Hi -> "gate-hi"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>control layer: %d valves, %d signals@," (valve_count t)
+    t.signals;
+  List.iter
+    (fun v ->
+      let owner =
+        match (v.device, v.path) with
+        | Some d, _ -> Printf.sprintf "d%d" d
+        | None, Some (a, b) -> Printf.sprintf "p%d-%d" a b
+        | None, None -> "?"
+      in
+      Format.fprintf fmt "  v%-3d %-8s %s@," v.valve_id (role_string v.role) owner)
+    t.all;
+  Format.fprintf fmt "@]"

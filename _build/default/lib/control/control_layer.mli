@@ -1,0 +1,46 @@
+(** Control-layer netlist derived from a synthesised chip.
+
+    Continuous-flow chips are driven by pressure-actuated valves on a
+    separate control layer (the paper's §2; its references [4] and [15]
+    optimise this layer). This module derives the canonical valve set a
+    chip needs:
+
+    - every container is sealed by an inlet and an outlet isolation valve;
+    - a pump accessory contributes three peristaltic valves (the classic
+      rotary-mixer drive);
+    - a sieve-valve accessory contributes one sieve valve;
+    - every transportation path is gated by one valve at each end.
+
+    Heating pads, optical systems and cell traps need control {e signals}
+    but no flow-layer valves; they are counted separately. *)
+
+open Microfluidics
+
+type role =
+  | Isolation_inlet
+  | Isolation_outlet
+  | Peristaltic of int  (** phase 0, 1 or 2 *)
+  | Sieve
+  | Path_gate of [ `Lo | `Hi ]
+      (** at the lower-id or higher-id end of the path *)
+
+type valve = {
+  valve_id : int;
+  role : role;
+  device : int option;  (** owning device, for device valves *)
+  path : (int * int) option;  (** owning path, for path gates *)
+}
+
+type t
+
+val of_chip : Chip.t -> t
+val valve_count : t -> int
+val valves : t -> valve list
+(** Ascending id. *)
+
+val valves_of_device : t -> int -> valve list
+val valves_of_path : t -> int -> int -> valve list
+val signal_count : t -> int
+(** Non-valve control signals: one per heating pad and per optical system. *)
+
+val pp : Format.formatter -> t -> unit

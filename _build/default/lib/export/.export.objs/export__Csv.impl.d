@@ -1,0 +1,1 @@
+lib/export/csv.ml: Array Assay Buffer Chip Cohls List Microfluidics Operation Printf String

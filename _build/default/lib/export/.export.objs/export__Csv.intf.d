@@ -1,0 +1,1 @@
+lib/export/csv.mli: Cohls Microfluidics

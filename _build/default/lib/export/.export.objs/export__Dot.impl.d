@@ -1,0 +1,1 @@
+lib/export/dot.ml: Array Assay Buffer Chip Cohls Device Flowgraph List Microfluidics Operation Printf String

@@ -1,0 +1,1 @@
+lib/export/gantt.ml: Array Buffer Bytes Cohls List Printf String

@@ -1,0 +1,1 @@
+lib/export/gantt.mli: Cohls

@@ -1,0 +1,46 @@
+open Microfluidics
+
+let quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let schedule (s : Cohls.Schedule.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "layer,op,name,device,start,min_duration,transport,indeterminate\n";
+  let ops = Assay.operations s.Cohls.Schedule.assay in
+  Array.iter
+    (fun (l : Cohls.Schedule.layer_schedule) ->
+      List.iter
+        (fun (e : Cohls.Schedule.entry) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%d,%s,%d,%d,%d,%d,%b\n" l.Cohls.Schedule.layer_index
+               e.Cohls.Schedule.op
+               (quote ops.(e.Cohls.Schedule.op).Operation.name)
+               e.Cohls.Schedule.device e.Cohls.Schedule.start
+               e.Cohls.Schedule.min_duration e.Cohls.Schedule.transport
+               e.Cohls.Schedule.indeterminate))
+        l.Cohls.Schedule.entries)
+    s.Cohls.Schedule.layers;
+  Buffer.contents buf
+
+let chip_paths c =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "device_a,device_b,usage\n";
+  List.iter
+    (fun ((a, b), usage) -> Buffer.add_string buf (Printf.sprintf "%d,%d,%d\n" a b usage))
+    (Chip.path_usage c);
+  Buffer.contents buf
+
+let iterations (r : Cohls.Synthesis.result) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "iteration,fixed_minutes,devices,paths,area,processing,weighted\n";
+  List.iter
+    (fun (it : Cohls.Synthesis.iteration) ->
+      let b = it.Cohls.Synthesis.breakdown in
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d\n" it.Cohls.Synthesis.iteration_index
+           b.Cohls.Schedule.fixed_minutes b.Cohls.Schedule.devices b.Cohls.Schedule.paths
+           b.Cohls.Schedule.area b.Cohls.Schedule.processing b.Cohls.Schedule.weighted))
+    r.Cohls.Synthesis.iterations;
+  Buffer.contents buf

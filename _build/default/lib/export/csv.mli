@@ -1,0 +1,14 @@
+(** CSV exports for downstream analysis (spreadsheets, pandas, gnuplot). *)
+
+val schedule : Cohls.Schedule.t -> string
+(** Header
+    [layer,op,name,device,start,min_duration,transport,indeterminate];
+    one row per scheduled operation, ascending (layer, start, op). *)
+
+val chip_paths : Microfluidics.Chip.t -> string
+(** Header [device_a,device_b,usage]; most-used first. *)
+
+val iterations : Cohls.Synthesis.result -> string
+(** Header
+    [iteration,fixed_minutes,devices,paths,area,processing,weighted];
+    one row per progressive re-synthesis iteration. *)

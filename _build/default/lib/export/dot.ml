@@ -1,0 +1,71 @@
+open Microfluidics
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c -> if c = '"' || c = '\\' then Buffer.add_char buf '\\' else (); Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let chip c =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "graph chip {\n  node [shape=box, fontname=\"monospace\"];\n";
+  List.iter
+    (fun (d : Device.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  d%d [label=\"d%d\\n%s\"];\n" d.Device.id d.Device.id
+           (escape (Device.signature d))))
+    (Chip.devices c);
+  List.iter
+    (fun ((a, b), usage) ->
+      Buffer.add_string buf (Printf.sprintf "  d%d -- d%d [label=\"%d\"];\n" a b usage))
+    (Chip.path_usage c);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let op_shape (o : Operation.t) =
+  if Operation.is_indeterminate o then "doubleoctagon" else "ellipse"
+
+let assay a =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph assay {\n  rankdir=TB;\n";
+  Array.iter
+    (fun (o : Operation.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  o%d [shape=%s, label=\"%d: %s\\n%s\"];\n" o.Operation.id
+           (op_shape o) o.Operation.id (escape o.Operation.name)
+           (escape (Operation.requirement_signature o))))
+    (Assay.operations a);
+  Flowgraph.Digraph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  o%d -> o%d;\n" u v))
+    (Assay.dependency_graph a);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let layer_colors =
+  [| "lightblue"; "lightgoldenrod"; "lightpink"; "lightseagreen"; "plum"; "khaki" |]
+
+let schedule (s : Cohls.Schedule.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph schedule {\n  rankdir=TB;\n  node [style=filled];\n";
+  let a = s.Cohls.Schedule.assay in
+  Array.iter
+    (fun (o : Operation.t) ->
+      let extra =
+        match Cohls.Schedule.entry_of_op s o.Operation.id with
+        | Some e ->
+          Printf.sprintf "d%d @ t=%d" e.Cohls.Schedule.device e.Cohls.Schedule.start
+        | None -> "unbound"
+      in
+      let layer = s.Cohls.Schedule.layering.Cohls.Layering.layer_of_op.(o.Operation.id) in
+      let color = layer_colors.(((layer mod Array.length layer_colors) + Array.length layer_colors) mod Array.length layer_colors) in
+      Buffer.add_string buf
+        (Printf.sprintf "  o%d [shape=%s, fillcolor=%s, label=\"%d: %s\\nL%d %s\"];\n"
+           o.Operation.id (op_shape o) color o.Operation.id (escape o.Operation.name)
+           layer (escape extra)))
+    (Assay.operations a);
+  Flowgraph.Digraph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  o%d -> o%d;\n" u v))
+    (Assay.dependency_graph a);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

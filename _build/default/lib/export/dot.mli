@@ -1,0 +1,14 @@
+(** Graphviz DOT exports: the chip (devices + flow paths) and the assay
+    (operations + dependencies). Render with e.g.
+    [dot -Tsvg chip.dot -o chip.svg]. *)
+
+val chip : Microfluidics.Chip.t -> string
+(** Undirected graph; nodes carry device signatures, edge labels carry path
+    usage counts. *)
+
+val assay : Microfluidics.Assay.t -> string
+(** Directed graph; indeterminate operations are drawn as double octagons. *)
+
+val schedule : Cohls.Schedule.t -> string
+(** The assay graph coloured by layer and annotated with device bindings
+    and start offsets. *)

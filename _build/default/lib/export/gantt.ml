@@ -1,0 +1,54 @@
+let glyph op =
+  let alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  alphabet.[op mod String.length alphabet]
+
+let render_one ~minutes_per_cell (s : Cohls.Schedule.t) (l : Cohls.Schedule.layer_schedule) =
+  let buf = Buffer.create 512 in
+  let devices =
+    List.sort_uniq compare
+      (List.map (fun (e : Cohls.Schedule.entry) -> e.Cohls.Schedule.device) l.Cohls.Schedule.entries)
+  in
+  let width = (l.Cohls.Schedule.fixed_makespan + minutes_per_cell - 1) / minutes_per_cell in
+  let width = max width 1 in
+  Buffer.add_string buf
+    (Printf.sprintf "layer %d (fixed %dm, %dm/cell)\n" l.Cohls.Schedule.layer_index
+       l.Cohls.Schedule.fixed_makespan minutes_per_cell);
+  let row dev =
+    let cells = Bytes.make width '.' in
+    let paint (e : Cohls.Schedule.entry) =
+      if e.Cohls.Schedule.device = dev then begin
+        let s0 = e.Cohls.Schedule.start / minutes_per_cell in
+        let e0 =
+          (e.Cohls.Schedule.start + e.Cohls.Schedule.min_duration + e.Cohls.Schedule.transport - 1)
+          / minutes_per_cell
+        in
+        for c = s0 to min e0 (width - 1) do
+          Bytes.set cells c (glyph e.Cohls.Schedule.op)
+        done;
+        if e.Cohls.Schedule.indeterminate then
+          for c = min (e0 + 1) (width - 1) to width - 1 do
+            Bytes.set cells c '~'
+          done
+      end
+    in
+    List.iter paint l.Cohls.Schedule.entries;
+    Buffer.add_string buf (Printf.sprintf "  d%-3d %s|\n" dev (Bytes.to_string cells))
+  in
+  List.iter row devices;
+  ignore s;
+  Buffer.contents buf
+
+let render_layer ?(minutes_per_cell = 5) s index =
+  if minutes_per_cell < 1 then invalid_arg "Gantt: minutes_per_cell must be >= 1";
+  let layers = s.Cohls.Schedule.layers in
+  if index < 0 || index >= Array.length layers then
+    invalid_arg "Gantt.render_layer: unknown layer";
+  render_one ~minutes_per_cell s layers.(index)
+
+let render ?(minutes_per_cell = 5) s =
+  if minutes_per_cell < 1 then invalid_arg "Gantt: minutes_per_cell must be >= 1";
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun l -> Buffer.add_string buf (render_one ~minutes_per_cell s l))
+    s.Cohls.Schedule.layers;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** ASCII Gantt charts of hybrid schedules.
+
+    One row per device, one column per [minutes_per_cell] minutes; layers
+    are rendered one after another with a [|] boundary column. Operation
+    cells show the operation id modulo 62 as an alphanumeric glyph;
+    indeterminate tails are drawn with [~] to the layer boundary. *)
+
+val render : ?minutes_per_cell:int -> Cohls.Schedule.t -> string
+(** @raise Invalid_argument if [minutes_per_cell < 1]. *)
+
+val render_layer : ?minutes_per_cell:int -> Cohls.Schedule.t -> int -> string
+(** One layer only. @raise Invalid_argument on an unknown layer index. *)

@@ -1,0 +1,1 @@
+lib/flowgraph/dag.ml: Array Digraph Fun Int List Set

@@ -1,0 +1,1 @@
+lib/flowgraph/dag.mli: Digraph

@@ -1,0 +1,1 @@
+lib/flowgraph/digraph.ml: Array Format Hashtbl List

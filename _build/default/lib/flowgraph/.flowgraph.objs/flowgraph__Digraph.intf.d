@@ -1,0 +1,1 @@
+lib/flowgraph/digraph.mli: Format

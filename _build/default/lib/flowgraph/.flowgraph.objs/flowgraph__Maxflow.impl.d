@@ -1,0 +1,1 @@
+lib/flowgraph/maxflow.ml: Array List Queue Stdlib

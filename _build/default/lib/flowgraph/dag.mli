@@ -1,0 +1,38 @@
+(** Algorithms on directed acyclic graphs.
+
+    Assay dependency graphs are DAGs (a child operation consumes the outputs
+    of its parents); the layering algorithm of the paper repeatedly needs
+    topological orders, ancestor/descendant sets and reachability. *)
+
+exception Cycle of int list
+(** Raised with one offending cycle when an algorithm requires acyclicity. *)
+
+val topological_order : Digraph.t -> int list
+(** Deterministic (smallest-vertex-first) topological order.
+    @raise Cycle if the graph has a directed cycle. *)
+
+val is_dag : Digraph.t -> bool
+
+val descendants : Digraph.t -> int -> int list
+(** All vertices reachable from [v], excluding [v] itself; sorted. *)
+
+val ancestors : Digraph.t -> int -> int list
+(** All vertices that reach [v], excluding [v] itself; sorted. *)
+
+val reachable_set : Digraph.t -> int -> bool array
+(** [reachable_set g v].(u) is true iff [u = v] or [v] reaches [u]. *)
+
+val longest_path_lengths : Digraph.t -> weight:(int -> int) -> int array
+(** [longest_path_lengths g ~weight] gives, per vertex, the maximum total
+    [weight] over paths ending at that vertex (inclusive). Used for critical
+    path / ASAP bounds. @raise Cycle on cyclic input. *)
+
+val transitive_closure : Digraph.t -> Digraph.t
+
+val sources : Digraph.t -> int list
+val sinks : Digraph.t -> int list
+
+val induced_subgraph : Digraph.t -> keep:(int -> bool) -> Digraph.t * int array * int array
+(** [induced_subgraph g ~keep] is [(h, old_of_new, new_of_old)] where [h]
+    contains only the kept vertices (re-indexed densely), [old_of_new] maps
+    the new ids back, and [new_of_old].(v) is [-1] for dropped vertices. *)

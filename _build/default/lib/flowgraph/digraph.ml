@@ -1,0 +1,85 @@
+type t = {
+  n : int;
+  succs : (int, unit) Hashtbl.t array;
+  preds : (int, unit) Hashtbl.t array;
+  mutable edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  {
+    n;
+    succs = Array.init n (fun _ -> Hashtbl.create 4);
+    preds = Array.init n (fun _ -> Hashtbl.create 4);
+    edges = 0;
+  }
+
+let vertex_count g = g.n
+let edge_count g = g.edges
+
+let check g v =
+  if v < 0 || v >= g.n then invalid_arg "Digraph: vertex out of range"
+
+let mem_edge g u v =
+  check g u;
+  check g v;
+  Hashtbl.mem g.succs.(u) v
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if u = v then invalid_arg "Digraph.add_edge: self-loop";
+  if not (Hashtbl.mem g.succs.(u) v) then begin
+    Hashtbl.replace g.succs.(u) v ();
+    Hashtbl.replace g.preds.(v) u ();
+    g.edges <- g.edges + 1
+  end
+
+let remove_edge g u v =
+  check g u;
+  check g v;
+  if Hashtbl.mem g.succs.(u) v then begin
+    Hashtbl.remove g.succs.(u) v;
+    Hashtbl.remove g.preds.(v) u;
+    g.edges <- g.edges - 1
+  end
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+
+let succ g v = check g v; sorted_keys g.succs.(v)
+let pred g v = check g v; sorted_keys g.preds.(v)
+let out_degree g v = check g v; Hashtbl.length g.succs.(v)
+let in_degree g v = check g v; Hashtbl.length g.preds.(v)
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> f u v) (sorted_keys g.succs.(u))
+  done
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun u v -> acc := f u v !acc) g;
+  !acc
+
+let copy g =
+  let g' = create g.n in
+  iter_edges (fun u v -> add_edge g' u v) g;
+  g'
+
+let transpose g =
+  let g' = create g.n in
+  iter_edges (fun u v -> add_edge g' v u) g;
+  g'
+
+let of_edges n edge_list =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) edge_list;
+  g
+
+let edges g = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) g [])
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>digraph(%d) {" g.n;
+  iter_edges (fun u v -> Format.fprintf fmt "@ %d -> %d;" u v) g;
+  Format.fprintf fmt "@ }@]"

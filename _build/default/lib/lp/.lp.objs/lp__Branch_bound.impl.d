@@ -1,0 +1,1 @@
+lib/lp/branch_bound.ml: Array Float Fun List Model Numeric Option Presolve Printf Simplex Unix

@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Array Field Hashtbl Linexpr List Model Numeric Tableau

@@ -1,0 +1,196 @@
+module Q = Numeric.Rat
+
+type status = Optimal | Feasible | Infeasible | Unbounded | Unknown
+
+type result = {
+  status : status;
+  objective : float option;
+  values : float array option;
+  nodes : int;
+  elapsed : float;
+  gap : float option;
+}
+
+type options = {
+  time_limit : float option;
+  node_limit : int option;
+  int_tol : float;
+  presolve : bool;
+  log : bool;
+}
+
+let default_options =
+  { time_limit = None; node_limit = None; int_tol = 1e-6; presolve = true; log = false }
+
+exception Stop_search
+
+type search_state = {
+  opts : options;
+  model : Model.t;
+  dir_sign : float; (* +1 minimize, -1 maximize: internal obj = natural * dir_sign *)
+  int_vars : int array;
+  started : float;
+  mutable incumbent : float array option;
+  mutable incumbent_obj : float; (* internal sense (minimise) *)
+  mutable nodes : int;
+  mutable proven : bool; (* search space fully explored *)
+  mutable best_bound : float; (* lowest open relaxation bound seen at cut-off *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let limits_hit st =
+  (match st.opts.time_limit with
+   | Some t -> now () -. st.started > t
+   | None -> false)
+  || match st.opts.node_limit with Some n -> st.nodes >= n | None -> false
+
+let fractionality x = Float.abs (x -. Float.round x)
+
+(* Most fractional integer variable, or None when integral. *)
+let pick_branch st values =
+  let best = ref (-1) and best_frac = ref st.opts.int_tol in
+  let consider v =
+    let f = fractionality values.(v) in
+    if f > !best_frac then begin
+      best := v;
+      best_frac := f
+    end
+  in
+  Array.iter consider st.int_vars;
+  if !best < 0 then None else Some !best
+
+let try_incumbent st values internal_obj =
+  (* Round near-integral values exactly before the feasibility re-check. *)
+  let rounded = Array.copy values in
+  let round v =
+    if fractionality rounded.(v) <= st.opts.int_tol then
+      rounded.(v) <- Float.round rounded.(v)
+  in
+  Array.iter round st.int_vars;
+  let violations = Model.check_feasible st.model ~tol:1e-5 (fun v -> rounded.(v)) in
+  if violations = [] then begin
+    if internal_obj < st.incumbent_obj -. 1e-9 then begin
+      st.incumbent <- Some rounded;
+      st.incumbent_obj <- internal_obj;
+      if st.opts.log then
+        Printf.eprintf "[bb] node %d: incumbent %.6g\n%!" st.nodes
+          (st.dir_sign *. internal_obj)
+    end;
+    true
+  end
+  else false
+
+let rec search st depth =
+  if limits_hit st then begin
+    st.proven <- false;
+    raise Stop_search
+  end;
+  st.nodes <- st.nodes + 1;
+  match Simplex.solve_relaxation_float st.model with
+  | Simplex.Infeasible -> ()
+  | Simplex.Unbounded ->
+    (* An unbounded relaxation at the root means the MILP is unbounded or
+       infeasible; deeper down it cannot happen if the root was bounded. *)
+    if depth = 0 then raise Exit
+  | Simplex.Optimal { objective; values } ->
+    let internal = st.dir_sign *. objective in
+    if internal >= st.incumbent_obj -. 1e-9 then begin
+      (* pruned by bound; remember the tightest open bound for gap report *)
+      if internal < st.best_bound then st.best_bound <- internal
+    end
+    else begin
+      match pick_branch st values with
+      | None ->
+        if not (try_incumbent st values internal) then begin
+          (* Numerically integral but infeasible on re-check: branch on the
+             integer var with the largest tiny fractionality to make
+             progress; if none, give up on this node. *)
+          st.proven <- false
+        end
+      | Some v ->
+        let x = values.(v) in
+        let fl = Float.of_int (int_of_float (Float.floor x)) in
+        let old_lb = Model.var_lb st.model v and old_ub = Model.var_ub st.model v in
+        let lo_first = x -. fl <= 0.5 in
+        let down () =
+          Model.set_bounds st.model v old_lb (Some (Q.of_float_approx fl));
+          search st (depth + 1);
+          Model.set_bounds st.model v old_lb old_ub
+        in
+        let up () =
+          Model.set_bounds st.model v (Some (Q.of_float_approx (fl +. 1.0))) old_ub;
+          search st (depth + 1);
+          Model.set_bounds st.model v old_lb old_ub
+        in
+        if lo_first then begin down (); up () end else begin up (); down () end
+    end
+
+let solve ?(options = default_options) ?warm_start model =
+  let started = now () in
+  let dir, _ = Model.objective model in
+  let dir_sign = match dir with `Minimize -> 1.0 | `Maximize -> -1.0 in
+  let int_vars =
+    Array.of_list
+      (List.filter
+         (fun v -> Model.is_integer_var model v)
+         (List.init (Model.var_count model) Fun.id))
+  in
+  let st =
+    {
+      opts = options;
+      model;
+      dir_sign;
+      int_vars;
+      started;
+      incumbent = None;
+      incumbent_obj = infinity;
+      nodes = 0;
+      proven = true;
+      best_bound = infinity;
+    }
+  in
+  (match warm_start with
+   | Some values ->
+     let obj = Model.eval_objective model (fun v -> values.(v)) in
+     ignore (try_incumbent st values (dir_sign *. obj))
+   | None -> ());
+  let presolve_outcome =
+    if options.presolve then Presolve.run model else Presolve.Ok 0
+  in
+  match presolve_outcome with
+  | Presolve.Proved_infeasible ->
+    {
+      status = (if st.incumbent = None then Infeasible else Feasible);
+      objective = Option.map (fun _ -> st.dir_sign *. st.incumbent_obj) st.incumbent;
+      values = st.incumbent;
+      nodes = 0;
+      elapsed = now () -. started;
+      gap = None;
+    }
+  | Presolve.Ok _ -> begin
+    let unbounded = ref false in
+    (try search st 0 with
+     | Stop_search -> ()
+     | Exit -> unbounded := true);
+    let elapsed = now () -. started in
+    let objective = Option.map (fun _ -> st.dir_sign *. st.incumbent_obj) st.incumbent in
+    let gap =
+      match (st.incumbent, st.proven) with
+      | Some _, true -> Some 0.0
+      | Some _, false when st.best_bound < infinity ->
+        let i = st.incumbent_obj and b = st.best_bound in
+        Some (Float.abs (i -. b) /. Float.max 1e-9 (Float.abs i))
+      | Some _, false | None, _ -> None
+    in
+    let status =
+      if !unbounded then Unbounded
+      else
+        match (st.incumbent, st.proven) with
+        | Some _, true -> Optimal
+        | Some _, false -> Feasible
+        | None, true -> Infeasible
+        | None, false -> Unknown
+    in
+    { status; objective; values = st.incumbent; nodes = st.nodes; elapsed; gap }
+  end

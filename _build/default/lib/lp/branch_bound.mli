@@ -1,0 +1,40 @@
+(** Branch-and-bound MILP solver over the floating-point simplex.
+
+    Depth-first search with best-bound pruning; branching on the most
+    fractional integer variable, exploring the child nearer the relaxation
+    value first. Supports warm-start incumbents (used by the synthesis flow,
+    which seeds the search with a greedy list schedule), wall-clock time
+    limits and node limits, making it an *anytime* solver like the paper's
+    Gurobi runs. Candidate incumbents are re-checked against the model at
+    tolerance before acceptance. *)
+
+type status =
+  | Optimal  (** search space exhausted; incumbent is proved optimal *)
+  | Feasible  (** stopped at a limit with an incumbent in hand *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** stopped at a limit with no incumbent *)
+
+type result = {
+  status : status;
+  objective : float option;  (** natural objective value of the incumbent *)
+  values : float array option;  (** incumbent, indexed by model variable *)
+  nodes : int;
+  elapsed : float;
+  gap : float option;  (** relative optimality gap when known *)
+}
+
+type options = {
+  time_limit : float option;  (** seconds of wall-clock *)
+  node_limit : int option;
+  int_tol : float;  (** integrality tolerance, default [1e-6] *)
+  presolve : bool;  (** run {!Presolve} at the root, default [true] *)
+  log : bool;
+}
+
+val default_options : options
+
+val solve : ?options:options -> ?warm_start:float array -> Model.t -> result
+(** The model's variable bounds are mutated during the search but restored
+    before returning (except for root presolve tightenings, which are kept:
+    they are valid for the model). *)

@@ -1,0 +1,57 @@
+(** Abstract ordered fields for the simplex kernel.
+
+    {!Tableau.Make} is instantiated twice: with {!Exact} (arbitrary-precision
+    rationals, bit-exact pivoting, used for verification and small models)
+    and with {!Approx} (IEEE doubles with tolerance-aware comparisons, used
+    for the branch-and-bound relaxations). *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_rat : Numeric.Rat.t -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+
+  val compare : t -> t -> int
+  (** Tolerance-aware for inexact instances: values within the instance
+      epsilon compare equal. *)
+
+  val is_zero : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Exact : S with type t = Numeric.Rat.t = struct
+  include Numeric.Rat
+
+  type nonrec t = t
+
+  let of_rat q = q
+  let is_zero = is_zero
+  let compare = compare
+end
+
+module Approx : S with type t = float = struct
+  type t = float
+
+  let eps = 1e-9
+  let zero = 0.0
+  let one = 1.0
+  let of_rat = Numeric.Rat.to_float
+  let to_float x = x
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let abs = Float.abs
+  let compare a b = if Float.abs (a -. b) <= eps then 0 else Float.compare a b
+  let is_zero x = Float.abs x <= eps
+  let pp fmt x = Format.fprintf fmt "%g" x
+end

@@ -1,0 +1,98 @@
+module Q = Numeric.Rat
+
+type outcome = Ok of int | Proved_infeasible
+
+type bound = Finite of Q.t | Inf
+
+let add_bound a b =
+  match (a, b) with Finite x, Finite y -> Finite (Q.add x y) | _ -> Inf
+
+(* Activity bounds of [expr] under current variable bounds: (min, max),
+   where [Inf] means -inf for the min component and +inf for the max. *)
+let activity model expr =
+  let term v c (mn, mx) =
+    let lb = Model.var_lb model v and ub = Model.var_ub model v in
+    let lo, hi =
+      if Q.sign c >= 0 then
+        ( (match lb with Some l -> Finite (Q.mul c l) | None -> Inf),
+          match ub with Some u -> Finite (Q.mul c u) | None -> Inf )
+      else
+        ( (match ub with Some u -> Finite (Q.mul c u) | None -> Inf),
+          match lb with Some l -> Finite (Q.mul c l) | None -> Inf )
+    in
+    (add_bound mn lo, add_bound mx hi)
+  in
+  Linexpr.fold term expr (Finite Q.zero, Finite Q.zero)
+
+exception Infeasible_found
+
+let run ?(max_rounds = 10) model =
+  let changes = ref 0 in
+  let tighten_lb v cand =
+    let cand = if Model.is_integer_var model v then Q.of_bigint (Q.ceil cand) else cand in
+    let cur_lb = Model.var_lb model v and cur_ub = Model.var_ub model v in
+    let better = match cur_lb with None -> true | Some l -> Q.compare cand l > 0 in
+    if better then begin
+      (match cur_ub with
+       | Some u when Q.compare cand u > 0 -> raise Infeasible_found
+       | Some _ | None -> ());
+      Model.set_bounds model v (Some cand) cur_ub;
+      incr changes
+    end
+  in
+  let tighten_ub v cand =
+    let cand = if Model.is_integer_var model v then Q.of_bigint (Q.floor cand) else cand in
+    let cur_lb = Model.var_lb model v and cur_ub = Model.var_ub model v in
+    let better = match cur_ub with None -> true | Some u -> Q.compare cand u < 0 in
+    if better then begin
+      (match cur_lb with
+       | Some l when Q.compare cand l < 0 -> raise Infeasible_found
+       | Some _ | None -> ());
+      Model.set_bounds model v cur_lb (Some cand);
+      incr changes
+    end
+  in
+  (* Propagate one inequality [expr <= rhs]. For variable v with coeff c:
+     c*x_v <= rhs - min_activity(expr - c*x_v). *)
+  let propagate_le expr rhs =
+    let mn_all, _ = activity model expr in
+    (match mn_all with
+     | Finite mn when Q.compare mn rhs > 0 -> raise Infeasible_found
+     | Finite _ | Inf -> ());
+    let handle v c () =
+      let lb = Model.var_lb model v and ub = Model.var_ub model v in
+      (* min activity of the rest = mn_all - contribution_min(v), valid only
+         when v's own min contribution is finite. *)
+      let own_min =
+        if Q.sign c >= 0 then (match lb with Some l -> Some (Q.mul c l) | None -> None)
+        else match ub with Some u -> Some (Q.mul c u) | None -> None
+      in
+      match (mn_all, own_min) with
+      | Finite mn, Some own ->
+        let rest = Q.sub mn own in
+        let slack = Q.sub rhs rest in
+        if Q.sign c > 0 then tighten_ub v (Q.div slack c)
+        else if Q.sign c < 0 then tighten_lb v (Q.div slack c)
+      | (Inf | Finite _), _ -> ()
+    in
+    Linexpr.fold (fun v c () -> handle v c ()) expr ()
+  in
+  let propagate _name expr sense rhs =
+    match sense with
+    | Model.Le -> propagate_le expr rhs
+    | Model.Ge -> propagate_le (Linexpr.neg expr) (Q.neg rhs)
+    | Model.Eq ->
+      propagate_le expr rhs;
+      propagate_le (Linexpr.neg expr) (Q.neg rhs)
+  in
+  try
+    let round = ref 0 in
+    let continue = ref true in
+    while !continue && !round < max_rounds do
+      incr round;
+      let before = !changes in
+      Model.iter_constraints model propagate;
+      if !changes = before then continue := false
+    done;
+    Ok !changes
+  with Infeasible_found -> Proved_infeasible

@@ -1,0 +1,14 @@
+(** Root-node presolve: iterated bound propagation.
+
+    For every constraint the minimum/maximum activity implied by current
+    variable bounds yields tighter implied bounds per variable; bounds of
+    integer variables are rounded inwards. Mutates the model's bounds in
+    place. Big-M scheduling models benefit substantially: fixed binaries
+    collapse whole disjunctions before branch-and-bound starts. *)
+
+type outcome =
+  | Ok of int  (** number of bound changes applied *)
+  | Proved_infeasible
+
+val run : ?max_rounds:int -> Model.t -> outcome
+(** Default [max_rounds = 10]. *)

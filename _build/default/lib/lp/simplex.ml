@@ -1,0 +1,142 @@
+module Q = Numeric.Rat
+
+type 'num outcome =
+  | Optimal of { objective : 'num; values : 'num array }
+  | Infeasible
+  | Unbounded
+
+(* How each model variable maps onto standard-form columns. *)
+type mapping =
+  | Shifted of int * Q.t (* x = col + lb *)
+  | Flipped of int * Q.t (* x = ub - col  (upper bound only) *)
+  | Split of int * int (* x = pos - neg   (free) *)
+  | Fixed of Q.t (* lb = ub *)
+
+module Make_driver (F : Field.S) = struct
+  module T = Tableau.Make (F)
+
+  let solve ?max_iters model =
+    let nvars = Model.var_count model in
+    let mapping = Array.make nvars (Fixed Q.zero) in
+    let ncols = ref 0 in
+    let fresh () =
+      let c = !ncols in
+      incr ncols;
+      c
+    in
+    (* rows under construction: (terms over columns, sense, rhs) *)
+    let rows = ref [] in
+    let nrows = ref 0 in
+    let push_row terms sense rhs =
+      rows := (terms, sense, rhs) :: !rows;
+      incr nrows
+    in
+    let infeasible_bounds = ref false in
+    for v = 0 to nvars - 1 do
+      let lb = Model.var_lb model v and ub = Model.var_ub model v in
+      match (lb, ub) with
+      | Some l, Some u when Q.compare l u > 0 -> infeasible_bounds := true
+      | Some l, Some u when Q.equal l u -> mapping.(v) <- Fixed l
+      | Some l, Some u ->
+        let c = fresh () in
+        mapping.(v) <- Shifted (c, l);
+        push_row [ (c, Q.one) ] Model.Le (Q.sub u l)
+      | Some l, None -> mapping.(v) <- Shifted (fresh (), l)
+      | None, Some u -> mapping.(v) <- Flipped (fresh (), u)
+      | None, None ->
+        let p = fresh () in
+        let q = fresh () in
+        mapping.(v) <- Split (p, q)
+    done;
+    if !infeasible_bounds then Infeasible
+    else begin
+      (* Translate a model expression into (column terms, constant). *)
+      let translate expr =
+        let acc = Hashtbl.create 8 in
+        let konst = ref (Linexpr.const_part expr) in
+        let bump col q =
+          let cur = match Hashtbl.find_opt acc col with Some x -> x | None -> Q.zero in
+          Hashtbl.replace acc col (Q.add cur q)
+        in
+        let visit v c _ =
+          (match mapping.(v) with
+           | Fixed k -> konst := Q.add !konst (Q.mul c k)
+           | Shifted (col, l) ->
+             bump col c;
+             konst := Q.add !konst (Q.mul c l)
+           | Flipped (col, u) ->
+             bump col (Q.neg c);
+             konst := Q.add !konst (Q.mul c u)
+           | Split (p, q) ->
+             bump p c;
+             bump q (Q.neg c));
+          ()
+        in
+        Linexpr.fold (fun v c () -> visit v c ()) expr ();
+        (Hashtbl.fold (fun col c l -> if Q.is_zero c then l else (col, c) :: l) acc [], !konst)
+      in
+      Model.iter_constraints model (fun _name expr sense rhs ->
+          let terms, k = translate expr in
+          push_row terms sense (Q.sub rhs k));
+      (* Slack / surplus columns; normalise rhs signs afterwards. *)
+      let dir, obj_expr = Model.objective model in
+      let obj_terms, obj_const = translate obj_expr in
+      let struct_cols = !ncols in
+      let slack_of_row = Array.make !nrows (-1) in
+      let row_list = List.rev !rows in
+      List.iteri
+        (fun i (_, sense, _) ->
+          match sense with
+          | Model.Le | Model.Ge -> slack_of_row.(i) <- fresh ()
+          | Model.Eq -> ())
+        row_list;
+      let n = !ncols in
+      let m = !nrows in
+      let a = Array.make_matrix m n F.zero in
+      let b = Array.make m F.zero in
+      List.iteri
+        (fun i (terms, sense, rhs) ->
+          let flip = Q.sign rhs < 0 in
+          let put col q =
+            let q = if flip then Q.neg q else q in
+            a.(i).(col) <- F.add a.(i).(col) (F.of_rat q)
+          in
+          List.iter (fun (col, q) -> put col q) terms;
+          (match sense with
+           | Model.Le -> put slack_of_row.(i) Q.one
+           | Model.Ge -> put slack_of_row.(i) Q.minus_one
+           | Model.Eq -> ());
+          b.(i) <- F.of_rat (if flip then Q.neg rhs else rhs))
+        row_list;
+      let c = Array.make n F.zero in
+      let obj_sign = match dir with `Minimize -> Q.one | `Maximize -> Q.minus_one in
+      List.iter
+        (fun (col, q) -> c.(col) <- F.add c.(col) (F.of_rat (Q.mul obj_sign q)))
+        obj_terms;
+      ignore struct_cols;
+      match T.solve ?max_iters ~a ~b ~c () with
+      | Tableau.Infeasible -> Infeasible
+      | Tableau.Unbounded -> Unbounded
+      | Tableau.Optimal (value, x) ->
+        let value_of v =
+          match mapping.(v) with
+          | Fixed k -> F.of_rat k
+          | Shifted (col, l) -> F.add x.(col) (F.of_rat l)
+          | Flipped (col, u) -> F.sub (F.of_rat u) x.(col)
+          | Split (p, q) -> F.sub x.(p) x.(q)
+        in
+        let values = Array.init nvars value_of in
+        (* Undo the max->min sign flip and re-add the objective constant. *)
+        let natural =
+          let base = F.add value (F.of_rat (Q.mul obj_sign obj_const)) in
+          match dir with `Minimize -> base | `Maximize -> F.neg base
+        in
+        Optimal { objective = natural; values }
+    end
+end
+
+module Float_driver = Make_driver (Field.Approx)
+module Exact_driver = Make_driver (Field.Exact)
+
+let solve_relaxation_float ?max_iters model = Float_driver.solve ?max_iters model
+let solve_relaxation_exact ?max_iters model = Exact_driver.solve ?max_iters model

@@ -1,0 +1,21 @@
+(** LP-relaxation solver front-end.
+
+    Converts a {!Model} (arbitrary bounds, [<=]/[>=]/[=] rows, min or max
+    objective) into the standard form expected by {!Tableau} — shifting
+    lower-bounded variables, splitting free ones, adding upper-bound rows
+    and slack/surplus columns — and maps the solution back to model
+    variables. Integrality is ignored here; {!Branch_bound} adds it. *)
+
+type 'num outcome =
+  | Optimal of { objective : 'num; values : 'num array }
+      (** [values] is indexed by model variable id; [objective] is the
+          model's natural objective value (not sign-normalised). *)
+  | Infeasible
+  | Unbounded
+
+val solve_relaxation_float : ?max_iters:int -> Model.t -> float outcome
+(** Floating-point simplex; fast, tolerance [1e-9]. *)
+
+val solve_relaxation_exact : ?max_iters:int -> Model.t -> Numeric.Rat.t outcome
+(** Exact rational simplex; bit-exact but slower. Intended for small models
+    and for verifying candidate optima in tests. *)

@@ -1,0 +1,178 @@
+type 'num result =
+  | Optimal of 'num * 'num array
+  | Infeasible
+  | Unbounded
+
+module Make (F : Field.S) = struct
+  (* Full-tableau two-phase simplex.
+     Columns [0 .. n-1] are structural, [n .. n+m-1] artificial. The tableau
+     always holds B^-1 A; [rhs] holds B^-1 b; [basis.(i)] is the variable
+     basic in row [i].
+     Pivot selection is Dantzig for the first [3*(m+n)] iterations, then
+     Bland (smallest index), which guarantees termination even under
+     degeneracy. *)
+
+  let lt a b = F.compare a b < 0
+  let gt a b = F.compare a b > 0
+
+  let pivot tab rhs d obj basis ~row ~col ~ncols =
+    let piv = tab.(row).(col) in
+    let trow = tab.(row) in
+    if not (F.compare piv F.one = 0) then begin
+      for j = 0 to ncols - 1 do
+        trow.(j) <- F.div trow.(j) piv
+      done;
+      rhs.(row) <- F.div rhs.(row) piv
+    end;
+    trow.(col) <- F.one;
+    let eliminate i =
+      if i <> row then begin
+        let f = tab.(i).(col) in
+        if not (F.is_zero f) then begin
+          let irow = tab.(i) in
+          for j = 0 to ncols - 1 do
+            irow.(j) <- F.sub irow.(j) (F.mul f trow.(j))
+          done;
+          irow.(col) <- F.zero;
+          rhs.(i) <- F.sub rhs.(i) (F.mul f rhs.(row))
+        end
+      end
+    in
+    for i = 0 to Array.length tab - 1 do
+      eliminate i
+    done;
+    let f = d.(col) in
+    if not (F.is_zero f) then begin
+      for j = 0 to ncols - 1 do
+        d.(j) <- F.sub d.(j) (F.mul f trow.(j))
+      done;
+      d.(col) <- F.zero;
+      obj := F.sub !obj (F.mul f rhs.(row))
+    end;
+    basis.(row) <- col
+
+  (* Entering column among the allowed prefix [limit]: Dantzig or Bland. *)
+  let entering d ~limit ~bland =
+    if bland then begin
+      let rec go j = if j >= limit then None else if lt d.(j) F.zero then Some j else go (j + 1) in
+      go 0
+    end
+    else begin
+      let best = ref (-1) and best_val = ref F.zero in
+      for j = 0 to limit - 1 do
+        if lt d.(j) !best_val then begin
+          best := j;
+          best_val := d.(j)
+        end
+      done;
+      if !best < 0 then None else Some !best
+    end
+
+  (* Leaving row by ratio test; Bland tie-break on basis variable index. *)
+  let leaving tab rhs basis ~col =
+    let m = Array.length tab in
+    let best = ref (-1) in
+    let best_ratio = ref F.zero in
+    for i = 0 to m - 1 do
+      let a = tab.(i).(col) in
+      if gt a F.zero then begin
+        let ratio = F.div rhs.(i) a in
+        if !best < 0
+           || lt ratio !best_ratio
+           || (F.compare ratio !best_ratio = 0 && basis.(i) < basis.(!best))
+        then begin
+          best := i;
+          best_ratio := ratio
+        end
+      end
+    done;
+    if !best < 0 then None else Some !best
+
+  let run_phase tab rhs d obj basis ~limit ~max_iters ~iter_count =
+    let switch = 3 * (Array.length tab + limit) in
+    let rec loop () =
+      if !iter_count > max_iters then failwith "Tableau: iteration limit exceeded";
+      incr iter_count;
+      let bland = !iter_count > switch in
+      match entering d ~limit ~bland with
+      | None -> `Optimal
+      | Some col -> begin
+        match leaving tab rhs basis ~col with
+        | None -> `Unbounded
+        | Some row ->
+          pivot tab rhs d obj basis ~row ~col ~ncols:(Array.length d);
+          loop ()
+      end
+    in
+    loop ()
+
+  let solve ?(max_iters = 50_000) ~a ~b ~c () =
+    let m = Array.length a in
+    let n = Array.length c in
+    if Array.length b <> m then invalid_arg "Tableau.solve: b length";
+    Array.iter (fun row -> if Array.length row <> n then invalid_arg "Tableau.solve: row length") a;
+    Array.iter (fun bi -> if lt bi F.zero then invalid_arg "Tableau.solve: negative rhs") b;
+    let ncols = n + m in
+    let tab = Array.init m (fun i -> Array.init ncols (fun j -> if j < n then a.(i).(j) else if j = n + i then F.one else F.zero)) in
+    let rhs = Array.copy b in
+    let basis = Array.init m (fun i -> n + i) in
+    (* Phase 1: minimise the sum of artificials. Reduced costs for the
+       structural columns are -(column sums); objective starts at -(sum b). *)
+    let d = Array.make ncols F.zero in
+    for j = 0 to n - 1 do
+      let s = ref F.zero in
+      for i = 0 to m - 1 do
+        s := F.add !s tab.(i).(j)
+      done;
+      d.(j) <- F.neg !s
+    done;
+    let obj = ref (F.neg (Array.fold_left F.add F.zero rhs)) in
+    let iter_count = ref 0 in
+    match run_phase tab rhs d obj basis ~limit:n ~max_iters ~iter_count with
+    | `Unbounded -> failwith "Tableau: phase-1 unbounded (impossible)"
+    | `Optimal ->
+      if lt !obj F.zero then Infeasible
+      else begin
+        (* Drive artificials out of the basis where possible. Rows whose
+           structural part is entirely zero are redundant and stay frozen:
+           every later pivot adds multiples of rows that are zero in the
+           frozen row's pivot column, so the row never changes. *)
+        for i = 0 to m - 1 do
+          if basis.(i) >= n then begin
+            let rec find j = if j >= n then None else if not (F.is_zero tab.(i).(j)) then Some j else find (j + 1) in
+            match find 0 with
+            | Some col -> pivot tab rhs d obj basis ~row:i ~col ~ncols
+            | None -> ()
+          end
+        done;
+        (* Phase 2: real costs. Rebuild reduced costs d_j = c_j - c_B^T tab_j. *)
+        for j = 0 to ncols - 1 do
+          d.(j) <- (if j < n then c.(j) else F.zero)
+        done;
+        obj := F.zero;
+        for i = 0 to m - 1 do
+          let bv = basis.(i) in
+          if bv < n && not (F.is_zero c.(bv)) then begin
+            let cb = c.(bv) in
+            for j = 0 to ncols - 1 do
+              d.(j) <- F.sub d.(j) (F.mul cb tab.(i).(j))
+            done;
+            obj := F.add !obj (F.mul cb rhs.(i))
+          end
+        done;
+        (* Basic columns must read exactly zero in the cost row. *)
+        Array.iter (fun bv -> d.(bv) <- F.zero) basis;
+        match run_phase tab rhs d obj basis ~limit:n ~max_iters ~iter_count with
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+          let x = Array.make n F.zero in
+          for i = 0 to m - 1 do
+            if basis.(i) < n then x.(basis.(i)) <- rhs.(i)
+          done;
+          let value = ref F.zero in
+          for j = 0 to n - 1 do
+            value := F.add !value (F.mul c.(j) x.(j))
+          done;
+          Optimal (!value, x)
+      end
+end

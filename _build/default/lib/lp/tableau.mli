@@ -1,0 +1,27 @@
+(** Dense two-phase primal simplex on standard-form problems
+
+    {[ minimise  c . x   subject to   A x = b,  x >= 0 ]}
+
+    with [b >= 0] (the caller flips row signs beforehand). Artificial
+    variables are managed internally; Bland's rule guarantees termination.
+    This is the kernel under both {!Simplex} front-ends. *)
+
+type 'num result =
+  | Optimal of 'num * 'num array
+      (** objective value, values of the [n] structural variables *)
+  | Infeasible
+  | Unbounded
+
+module Make (F : Field.S) : sig
+  val solve :
+    ?max_iters:int ->
+    a:F.t array array ->
+    b:F.t array ->
+    c:F.t array ->
+    unit ->
+    F.t result
+  (** [solve ~a ~b ~c ()] with [a] of shape [m x n], [b] length [m]
+      (all entries [>= 0]), [c] length [n].
+      @raise Invalid_argument on shape mismatch or negative [b] entries.
+      @raise Failure if [max_iters] (default [50_000]) pivots are exceeded. *)
+end

@@ -1,0 +1,1 @@
+lib/microfluidics/assay.ml: Array Components Flowgraph Format List Operation

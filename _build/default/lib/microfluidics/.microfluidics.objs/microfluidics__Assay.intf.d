@@ -1,0 +1,1 @@
+lib/microfluidics/assay.mli: Components Flowgraph Format Operation

@@ -1,0 +1,1 @@
+lib/microfluidics/assay_text.ml: Accessory Array Assay Buffer Capacity Components Container Format Hashtbl List Operation Printf String

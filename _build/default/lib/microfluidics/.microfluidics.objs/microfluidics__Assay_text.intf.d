@@ -1,0 +1,1 @@
+lib/microfluidics/assay_text.mli: Assay Format

@@ -1,0 +1,1 @@
+lib/microfluidics/chip.ml: Cost Device Format Hashtbl List

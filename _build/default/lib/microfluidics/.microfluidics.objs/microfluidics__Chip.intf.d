@@ -1,0 +1,1 @@
+lib/microfluidics/chip.mli: Cost Device Format

@@ -1,0 +1,1 @@
+lib/microfluidics/components.ml: Format List Set Stdlib String

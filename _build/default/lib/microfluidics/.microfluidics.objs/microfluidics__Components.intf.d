@@ -1,0 +1,1 @@
+lib/microfluidics/components.mli: Format Set

@@ -1,0 +1,1 @@
+lib/microfluidics/cost.ml: Accessory Capacity Components Container Device

@@ -1,0 +1,1 @@
+lib/microfluidics/cost.mli: Accessory Capacity Components Container Device

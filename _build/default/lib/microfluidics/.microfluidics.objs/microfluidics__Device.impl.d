@@ -1,0 +1,1 @@
+lib/microfluidics/device.ml: Accessory Capacity Components Container Format List Printf Stdlib String

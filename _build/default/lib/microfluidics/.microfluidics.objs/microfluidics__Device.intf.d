@@ -1,0 +1,1 @@
+lib/microfluidics/device.mli: Accessory Capacity Components Container Format

@@ -1,0 +1,1 @@
+lib/microfluidics/layout.ml: Format Hashtbl List

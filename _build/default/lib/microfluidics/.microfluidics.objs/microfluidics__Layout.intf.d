@@ -1,0 +1,1 @@
+lib/microfluidics/layout.mli: Format

@@ -1,0 +1,1 @@
+lib/microfluidics/operation.ml: Accessory Capacity Components Container Device Format List Printf String

@@ -1,0 +1,1 @@
+lib/microfluidics/operation.mli: Accessory Capacity Components Container Device Format

@@ -1,0 +1,54 @@
+(** Bioassays: dependency DAGs of component-oriented operations.
+
+    A child operation consumes the outputs of its parents and may start only
+    after every parent finished and its reagents were transported (paper
+    constraint (9)). *)
+
+type t
+
+val create : name:string -> t
+
+val add_operation :
+  t ->
+  ?container:Components.Container.t ->
+  ?capacity:Components.Capacity.t ->
+  ?accessories:Components.Accessory.t list ->
+  duration:Operation.duration ->
+  string ->
+  int
+(** Returns the fresh operation id (dense, starting at 0). *)
+
+val add_dependency : t -> parent:int -> child:int -> unit
+(** @raise Invalid_argument on unknown ids, self-dependency, or an edge that
+    would close a cycle. *)
+
+val name : t -> string
+val operation_count : t -> int
+val operation : t -> int -> Operation.t
+val operations : t -> Operation.t array
+(** Fresh copy, indexed by id. *)
+
+val parents : t -> int -> int list
+val children : t -> int -> int list
+val dependency_graph : t -> Flowgraph.Digraph.t
+(** A copy; mutations do not affect the assay. *)
+
+val indeterminate_ids : t -> int list
+val indeterminate_count : t -> int
+
+val critical_path_minutes : t -> int
+(** Lower bound on the makespan: the longest chain of minimum durations. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: non-empty, acyclic (enforced incrementally anyway),
+    every indeterminate operation's minimum duration positive. *)
+
+val replicate : t -> copies:int -> t
+(** [replicate a ~copies] concatenates [copies] independent instances of the
+    protocol, re-indexing ids — the paper's device for scaling the three
+    assays to 16/70/120 operations. *)
+
+val union : name:string -> t list -> t
+(** Disjoint union with dense re-indexing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** Textual assay descriptions.
+
+    A small declarative language so protocols can be written in files
+    instead of OCaml:
+
+    {v
+    assay "gene-expression"
+
+    op capture {
+      container   = chamber
+      capacity    = tiny
+      accessories = cell-trap, optical-system
+      duration    = indeterminate min 8
+    }
+    op lyse { duration = 10 }
+    op mix  { container = ring  accessories = pump  duration = 20 }
+
+    deps { capture -> lyse -> mix }
+
+    replicate 10
+    v}
+
+    Operation names must be unique; [a -> b -> c] chains dependencies;
+    [deps] blocks may repeat; [replicate n] (optional, at most once) scales
+    the protocol the way the paper scales its test cases. Instead of a
+    [capacity] class an operation may give [volume = 12.5] (nanolitres),
+    resolved through {!Components.Capacity.of_volume}; an explicit capacity
+    wins over a volume. Comments run from [#] to end of line. All keywords
+    are lowercase; accessory names use the hyphenated forms of
+    {!Components.Accessory.to_string}. *)
+
+type error = { line : int; message : string }
+
+val parse : string -> (Assay.t, error) result
+(** Parse a description from a string. *)
+
+val of_file : string -> (Assay.t, error) result
+(** @raise Sys_error if the file cannot be read. *)
+
+val to_text : Assay.t -> string
+(** Canonical printer; [parse (to_text a)] reconstructs an assay with the
+    same operations and dependencies (names are sanitised to identifiers,
+    uniqued with an [_<id>] suffix). *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,52 @@
+open Components
+
+type t = {
+  area : Container.t -> Capacity.t -> int;
+  container_processing : Container.t -> Capacity.t -> int;
+  accessory_processing : Accessory.t -> int;
+}
+
+let make ~area ~container_processing ~accessory_processing =
+  { area; container_processing; accessory_processing }
+
+let default =
+  let area container cap =
+    match (container, cap) with
+    | Container.Ring, Capacity.Large -> 12
+    | Container.Ring, Capacity.Medium -> 9
+    | Container.Ring, Capacity.Small -> 7
+    | Container.Chamber, Capacity.Medium -> 6
+    | Container.Chamber, Capacity.Small -> 4
+    | Container.Chamber, Capacity.Tiny -> 3
+    | Container.Ring, Capacity.Tiny | Container.Chamber, Capacity.Large ->
+      invalid_arg "Cost.area: capacity not allowed for container"
+  in
+  let container_processing container cap =
+    match (container, cap) with
+    | Container.Ring, Capacity.Large -> 10
+    | Container.Ring, Capacity.Medium -> 8
+    | Container.Ring, Capacity.Small -> 6
+    | Container.Chamber, Capacity.Medium -> 5
+    | Container.Chamber, Capacity.Small -> 4
+    | Container.Chamber, Capacity.Tiny -> 3
+    | Container.Ring, Capacity.Tiny | Container.Chamber, Capacity.Large ->
+      invalid_arg "Cost.container_processing: capacity not allowed"
+  in
+  let accessory_processing = function
+    | Accessory.Pump -> 4
+    | Accessory.Heating_pad -> 3
+    | Accessory.Optical_system -> 5
+    | Accessory.Sieve_valve -> 2
+    | Accessory.Cell_trap -> 2
+  in
+  { area; container_processing; accessory_processing }
+
+let area t = t.area
+let container_processing t = t.container_processing
+let accessory_processing t = t.accessory_processing
+
+let device_area t (d : Device.t) = t.area d.Device.container d.Device.capacity
+
+let device_processing t (d : Device.t) =
+  let base = t.container_processing d.Device.container d.Device.capacity in
+  Accessory.Set.fold (fun a acc -> acc + t.accessory_processing a) d.Device.accessories base

@@ -1,0 +1,30 @@
+(** Chip cost tables (paper §4.3).
+
+    Area cost is incurred by containers only (accessories integrate into
+    containers); processing cost is incurred by both: extra masks, yield
+    loss, testing, control ports. All values are abstract integer units. *)
+
+open Components
+
+type t
+
+val make :
+  area:(Container.t -> Capacity.t -> int) ->
+  container_processing:(Container.t -> Capacity.t -> int) ->
+  accessory_processing:(Accessory.t -> int) ->
+  t
+(** The two container tables are only consulted on allowed
+    container/capacity combinations. *)
+
+val default : t
+(** Rings cost more area and processing than chambers of equal capacity;
+    larger capacities cost more; optical systems are the most expensive
+    accessory. *)
+
+val area : t -> Container.t -> Capacity.t -> int
+val container_processing : t -> Container.t -> Capacity.t -> int
+val accessory_processing : t -> Accessory.t -> int
+
+val device_area : t -> Device.t -> int
+val device_processing : t -> Device.t -> int
+(** Container processing plus the sum over integrated accessories. *)

@@ -1,0 +1,1 @@
+lib/physical/floorplan.ml: Cost Device Format List Microfluidics

@@ -1,0 +1,1 @@
+lib/physical/floorplan.mli: Format Microfluidics

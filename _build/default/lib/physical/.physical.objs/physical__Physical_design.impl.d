@@ -1,0 +1,1 @@
+lib/physical/physical_design.ml: Array Cohls Floorplan Format List Microfluidics Router

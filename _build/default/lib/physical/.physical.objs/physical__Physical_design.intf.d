@@ -1,0 +1,1 @@
+lib/physical/physical_design.mli: Cohls Floorplan Format Microfluidics Router

@@ -1,0 +1,1 @@
+lib/physical/router.ml: Array Floorplan Hashtbl List Option Set

@@ -1,0 +1,1 @@
+lib/physical/router.mli: Floorplan

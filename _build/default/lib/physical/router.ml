@@ -1,0 +1,118 @@
+type route = {
+  path : int * int;
+  cells : (int * int) list;
+  length : int;
+}
+
+type t = {
+  routes : route list;
+  total_length : int;
+  crossings : int;
+  failures : (int * int) list;
+}
+
+(* Dijkstra on the free grid; cells already carrying a channel cost extra,
+   so the router prefers detours over crossings but accepts a crossing when
+   the detour is long. *)
+let shared_cell_penalty = 5
+
+module Pq = Set.Make (struct
+  type t = int * int * int (* cost, x, y *)
+
+  let compare = compare
+end)
+
+let route_one fp used ~src_port ~dst_port =
+  let w = fp.Floorplan.width and h = fp.Floorplan.height in
+  if w = 0 || h = 0 then None
+  else begin
+    let idx (x, y) = (y * w) + x in
+    let dist = Array.make (w * h) max_int in
+    let prev = Array.make (w * h) (-1) in
+    let sx, sy = src_port and tx, ty = dst_port in
+    if sx < 0 || sx >= w || sy < 0 || sy >= h || tx < 0 || tx >= w || ty < 0 || ty >= h
+    then None
+    else begin
+      let free (x, y) =
+        x >= 0 && x < w && y >= 0 && y < h && not (Floorplan.occupied fp ~x ~y)
+      in
+      if (not (free src_port)) || not (free dst_port) then None
+      else begin
+        dist.(idx src_port) <- 0;
+        let frontier = ref (Pq.singleton (0, sx, sy)) in
+        let found = ref false in
+        while (not !found) && not (Pq.is_empty !frontier) do
+          let ((d, x, y) as node) = Pq.min_elt !frontier in
+          frontier := Pq.remove node !frontier;
+          if (x, y) = dst_port then found := true
+          else if d <= dist.(idx (x, y)) then begin
+            let step (nx, ny) =
+              if free (nx, ny) then begin
+                let extra =
+                  if Hashtbl.mem used (nx, ny) then shared_cell_penalty else 0
+                in
+                let nd = d + 1 + extra in
+                if nd < dist.(idx (nx, ny)) then begin
+                  dist.(idx (nx, ny)) <- nd;
+                  prev.(idx (nx, ny)) <- idx (x, y);
+                  frontier := Pq.add (nd, nx, ny) !frontier
+                end
+              end
+            in
+            step (x + 1, y);
+            step (x - 1, y);
+            step (x, y + 1);
+            step (x, y - 1)
+          end
+        done;
+        if not !found then None
+        else begin
+          let rec walk acc i =
+            if i = idx src_port then (sx, sy) :: acc
+            else walk ((i mod w, i / w) :: acc) prev.(i)
+          in
+          Some (walk [] (idx dst_port))
+        end
+      end
+    end
+  end
+
+let route_all fp ~path_usage =
+  let used = Hashtbl.create 64 in
+  let routes = ref [] in
+  let failures = ref [] in
+  let ordered =
+    List.sort (fun (ka, ua) (kb, ub) -> compare (-ua, ka) (-ub, kb)) path_usage
+  in
+  List.iter
+    (fun ((a, b), _usage) ->
+      match (Floorplan.rect_of fp a, Floorplan.rect_of fp b) with
+      | Some _, Some _ -> begin
+        let src_port = Floorplan.port_of fp a in
+        let dst_port = Floorplan.port_of fp b in
+        match route_one fp used ~src_port ~dst_port with
+        | Some cells ->
+          List.iter
+            (fun cell ->
+              let n = Option.value ~default:0 (Hashtbl.find_opt used cell) in
+              Hashtbl.replace used cell (n + 1))
+            cells;
+          routes :=
+            { path = (min a b, max a b); cells; length = List.length cells - 1 }
+            :: !routes
+        | None -> failures := (min a b, max a b) :: !failures
+      end
+      | _, _ -> failures := (min a b, max a b) :: !failures)
+    ordered;
+  let crossings = Hashtbl.fold (fun _ n acc -> if n >= 2 then acc + 1 else acc) used 0 in
+  let routes = List.rev !routes in
+  {
+    routes;
+    total_length = List.fold_left (fun acc r -> acc + r.length) 0 routes;
+    crossings;
+    failures = List.rev !failures;
+  }
+
+let channel_length t a b =
+  let k = (min a b, max a b) in
+  Option.map (fun r -> r.length) (List.find_opt (fun r -> r.path = k) t.routes)

@@ -1,0 +1,27 @@
+(** Maze routing of flow channels over a floorplan.
+
+    Paths are routed one by one (most-used first, so hot channels get the
+    short direct routes) with breadth-first search on the free grid; device
+    rectangles are obstacles except at their ports; cells used by earlier
+    channels stay usable but cost extra, and a crossing between two routed
+    channels is recorded — crossings on a continuous-flow chip need extra
+    valves, so the count is a quality metric alongside total length. *)
+
+type route = {
+  path : int * int;  (** unordered device pair *)
+  cells : (int * int) list;  (** from source port to sink port, inclusive *)
+  length : int;  (** number of steps, [List.length cells - 1] *)
+}
+
+type t = {
+  routes : route list;  (** in the order routed: most-used path first *)
+  total_length : int;
+  crossings : int;  (** grid cells shared by two or more channels *)
+  failures : (int * int) list;  (** unroutable pairs (no free corridor) *)
+}
+
+val route_all :
+  Floorplan.t -> path_usage:((int * int) * int) list -> t
+
+val channel_length : t -> int -> int -> int option
+(** Routed length of the channel between two devices. *)

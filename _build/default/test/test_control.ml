@@ -1,0 +1,169 @@
+(* Tests for the control layer: valve derivation from a chip and actuation
+   synthesis from hybrid schedules, including the switching-count
+   comparison between binding rules. *)
+
+open Microfluidics
+open Components
+module CL = Control.Control_layer
+module Act = Control.Actuation
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int_t = Alcotest.int
+
+let demo_chip () =
+  let chip = Chip.create () in
+  let mixer =
+    Device.make ~id:0 ~container:Container.Ring ~capacity:Capacity.Small
+      ~accessories:[ Accessory.Pump; Accessory.Sieve_valve ]
+  in
+  let chamber =
+    Device.make ~id:1 ~container:Container.Chamber ~capacity:Capacity.Tiny
+      ~accessories:[ Accessory.Heating_pad; Accessory.Optical_system ]
+  in
+  Chip.add_device chip mixer;
+  Chip.add_device chip chamber;
+  Chip.note_transport chip ~src:0 ~dst:1;
+  chip
+
+let test_valve_derivation () =
+  let layer = CL.of_chip (demo_chip ()) in
+  (* mixer: 2 isolation + 3 peristaltic + 1 sieve; chamber: 2 isolation;
+     path: 2 gates *)
+  check int_t "valve count" (2 + 3 + 1 + 2 + 2) (CL.valve_count layer);
+  check int_t "mixer valves" 6 (List.length (CL.valves_of_device layer 0));
+  check int_t "chamber valves" 2 (List.length (CL.valves_of_device layer 1));
+  check int_t "path gates" 2 (List.length (CL.valves_of_path layer 1 0));
+  check int_t "signals: heater + optics" 2 (CL.signal_count layer);
+  (* valve ids are dense and unique *)
+  let ids = List.map (fun v -> v.CL.valve_id) (CL.valves layer) in
+  check bool "dense ids" true (ids = List.init (List.length ids) Fun.id)
+
+let test_empty_chip () =
+  let layer = CL.of_chip (Chip.create ()) in
+  check int_t "no valves" 0 (CL.valve_count layer);
+  check int_t "no signals" 0 (CL.signal_count layer)
+
+let synthesise_case assay =
+  let r = Cohls.Synthesis.run assay in
+  let layer = CL.of_chip r.Cohls.Synthesis.final.Cohls.Schedule.chip in
+  (r, layer, Act.synthesise layer r.Cohls.Synthesis.final)
+
+let test_actuation_small () =
+  let a = Assay.create ~name:"t" in
+  let x =
+    Assay.add_operation a ~container:Container.Ring ~capacity:Capacity.Small
+      ~accessories:[ Accessory.Pump ] ~duration:(Operation.Fixed 10) "mix"
+  in
+  let y =
+    Assay.add_operation a ~accessories:[ Accessory.Optical_system ]
+      ~duration:(Operation.Fixed 5) "detect"
+  in
+  Assay.add_dependency a ~parent:x ~child:y;
+  let r, layer, timeline = synthesise_case a in
+  ignore layer;
+  check bool "some events" true (Act.switch_count timeline > 0);
+  check int_t "horizon = fixed minutes"
+    (Cohls.Schedule.total_fixed_minutes r.Cohls.Synthesis.final)
+    timeline.Act.horizon;
+  match Act.validate timeline with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_actuation_validates_on_cases () =
+  List.iter
+    (fun assay ->
+      let _, _, timeline = synthesise_case assay in
+      match Act.validate timeline with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    [ Assays.Kinase.testcase (); Assays.Gene_expression.base () ]
+
+let test_switch_count_rule_comparison () =
+  (* fewer transportation paths should show up as fewer gate switches *)
+  let assay = Assays.Kinase.testcase () in
+  let ours = Cohls.Synthesis.run assay in
+  let conv = Cohls.Baseline.run assay in
+  let count (r : Cohls.Synthesis.result) =
+    let layer = CL.of_chip r.Cohls.Synthesis.final.Cohls.Schedule.chip in
+    Act.switch_count (Act.synthesise layer r.Cohls.Synthesis.final)
+  in
+  check bool "ours needs no more switches" true (count ours <= count conv)
+
+let test_actuation_unknown_device () =
+  (* a control layer built from a DIFFERENT chip must be rejected *)
+  let a = Assay.create ~name:"t" in
+  ignore (Assay.add_operation a ~duration:(Operation.Fixed 5) "x");
+  let r = Cohls.Synthesis.run a in
+  let layer = CL.of_chip (Chip.create ()) in
+  try
+    ignore (Act.synthesise layer r.Cohls.Synthesis.final);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_events_sorted_and_alternating () =
+  let _, _, timeline = synthesise_case (Assays.Gene_expression.base ()) in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      (a.Act.minute, a.Act.valve) <= (b.Act.minute, b.Act.valve) && sorted rest
+    | [ _ ] | [] -> true
+  in
+  check bool "sorted" true (sorted timeline.Act.events);
+  (* per valve: strict alternation, starting with an open *)
+  let by_valve = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_valve e.Act.valve) in
+      Hashtbl.replace by_valve e.Act.valve (e :: cur))
+    timeline.Act.events;
+  Hashtbl.iter
+    (fun _ events ->
+      let events = List.rev events in
+      List.iteri
+        (fun i e ->
+          let expected = if i mod 2 = 0 then Act.Opened else Act.Closed in
+          check bool "alternates" true (e.Act.state = expected))
+        events;
+      check bool "even count" true (List.length events mod 2 = 0))
+    by_valve
+
+let prop_actuation_validates_on_random =
+  QCheck.Test.make ~name:"actuation timelines validate on random assays" ~count:60
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 99999) (int_range 2 18))
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n))
+    (fun (seed, n) ->
+      let params =
+        { Assays.Random_assay.default_params with Assays.Random_assay.op_count = n }
+      in
+      let a = Assays.Random_assay.generate ~seed params in
+      match Cohls.Synthesis.run a with
+      | exception Cohls.List_scheduler.No_device _ -> QCheck.assume_fail ()
+      | r ->
+        let layer = CL.of_chip r.Cohls.Synthesis.final.Cohls.Schedule.chip in
+        let timeline = Act.synthesise layer r.Cohls.Synthesis.final in
+        Act.validate timeline = Ok ()
+        && Act.switch_count timeline mod 2 = 0 (* every open has a close *))
+
+let () =
+  Alcotest.run "control"
+    [
+      ( "control-layer",
+        [
+          Alcotest.test_case "valve derivation" `Quick test_valve_derivation;
+          Alcotest.test_case "empty chip" `Quick test_empty_chip;
+        ] );
+      ( "actuation",
+        [
+          Alcotest.test_case "small schedule" `Quick test_actuation_small;
+          Alcotest.test_case "paper cases validate" `Quick
+            test_actuation_validates_on_cases;
+          Alcotest.test_case "switch count vs binding rule" `Quick
+            test_switch_count_rule_comparison;
+          Alcotest.test_case "unknown device rejected" `Quick
+            test_actuation_unknown_device;
+          Alcotest.test_case "sorted and alternating" `Quick
+            test_events_sorted_and_alternating;
+          QCheck_alcotest.to_alcotest prop_actuation_validates_on_random;
+        ] );
+    ]

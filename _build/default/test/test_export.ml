@@ -1,0 +1,138 @@
+(* Tests for the exporters: ASCII Gantt, Graphviz DOT and CSV. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int_t = Alcotest.int
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let result = lazy (Cohls.Synthesis.run (Assays.Gene_expression.base ()))
+
+let test_gantt_render () =
+  let r = Lazy.force result in
+  let s = Export.Gantt.render r.Cohls.Synthesis.final in
+  check bool "non-empty" true (String.length s > 0);
+  check bool "mentions each layer" true (contains s "layer 0" && contains s "layer 1");
+  check bool "has device rows" true (contains s "d0");
+  check bool "indeterminate tail drawn" true (String.contains s '~');
+  (* one row per device per layer it appears in *)
+  let lines = String.split_on_char '\n' s in
+  check bool "multiple rows" true (List.length lines > 3)
+
+let test_gantt_scaling () =
+  let r = Lazy.force result in
+  let fine = Export.Gantt.render ~minutes_per_cell:1 r.Cohls.Synthesis.final in
+  let coarse = Export.Gantt.render ~minutes_per_cell:20 r.Cohls.Synthesis.final in
+  check bool "finer is wider" true (String.length fine > String.length coarse);
+  Alcotest.check_raises "zero cell width"
+    (Invalid_argument "Gantt: minutes_per_cell must be >= 1") (fun () ->
+      ignore (Export.Gantt.render ~minutes_per_cell:0 r.Cohls.Synthesis.final))
+
+let test_gantt_layer () =
+  let r = Lazy.force result in
+  let s = Export.Gantt.render_layer r.Cohls.Synthesis.final 0 in
+  check bool "layer 0 only" true (contains s "layer 0" && not (contains s "layer 1"));
+  Alcotest.check_raises "bad layer" (Invalid_argument "Gantt.render_layer: unknown layer")
+    (fun () -> ignore (Export.Gantt.render_layer r.Cohls.Synthesis.final 99))
+
+let test_dot_chip () =
+  let r = Lazy.force result in
+  let s = Export.Dot.chip r.Cohls.Synthesis.final.Cohls.Schedule.chip in
+  check bool "graph header" true (contains s "graph chip {");
+  check bool "device node" true (contains s "d0 [label=");
+  check bool "closes" true (contains s "}\n")
+
+let test_dot_assay () =
+  let a = Assays.Gene_expression.base () in
+  let s = Export.Dot.assay a in
+  check bool "digraph" true (contains s "digraph assay {");
+  check bool "indeterminate shape" true (contains s "doubleoctagon");
+  check bool "edge" true (contains s "o0 -> o1")
+
+let test_dot_schedule () =
+  let r = Lazy.force result in
+  let s = Export.Dot.schedule r.Cohls.Synthesis.final in
+  check bool "binding annotation" true (contains s "d");
+  check bool "layer colour" true (contains s "fillcolor=")
+
+let test_csv_schedule () =
+  let r = Lazy.force result in
+  let s = Export.Csv.schedule r.Cohls.Synthesis.final in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  check int_t "header + one row per op"
+    (1 + Microfluidics.Assay.operation_count r.Cohls.Synthesis.final.Cohls.Schedule.assay)
+    (List.length lines);
+  check bool "header" true
+    (List.hd lines = "layer,op,name,device,start,min_duration,transport,indeterminate")
+
+let test_csv_quoting () =
+  (* names with commas must be quoted *)
+  let a = Microfluidics.Assay.create ~name:"q" in
+  ignore
+    (Microfluidics.Assay.add_operation a
+       ~duration:(Microfluidics.Operation.Fixed 5) "mix, heat \"x\"");
+  let r = Cohls.Synthesis.run a in
+  let s = Export.Csv.schedule r.Cohls.Synthesis.final in
+  check bool "quoted" true (contains s "\"mix, heat \"\"x\"\"\"")
+
+let test_csv_paths_and_iterations () =
+  let r = Lazy.force result in
+  let p = Export.Csv.chip_paths r.Cohls.Synthesis.final.Cohls.Schedule.chip in
+  check bool "paths header" true (contains p "device_a,device_b,usage");
+  let i = Export.Csv.iterations r in
+  check bool "iterations header" true (contains i "iteration,fixed_minutes");
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' i) in
+  check int_t "one row per iteration"
+    (1 + List.length r.Cohls.Synthesis.iterations)
+    (List.length lines)
+
+let prop_exporters_total_on_random =
+  QCheck.Test.make ~name:"exporters are total on random assays" ~count:60
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 99999) (int_range 2 18))
+       ~print:(fun (s, n) -> Printf.sprintf "seed=%d n=%d" s n))
+    (fun (seed, n) ->
+      let params =
+        { Assays.Random_assay.default_params with Assays.Random_assay.op_count = n }
+      in
+      let a = Assays.Random_assay.generate ~seed params in
+      match Cohls.Synthesis.run a with
+      | exception Cohls.List_scheduler.No_device _ -> QCheck.assume_fail ()
+      | r ->
+        let s = r.Cohls.Synthesis.final in
+        let gantt = Export.Gantt.render s in
+        let dot = Export.Dot.schedule s in
+        let csv = Export.Csv.schedule s in
+        let csv_rows =
+          List.length (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv))
+        in
+        String.length gantt > 0
+        && String.length dot > 0
+        && csv_rows = 1 + Microfluidics.Assay.operation_count a)
+
+let () =
+  Alcotest.run "export"
+    [
+      ( "gantt",
+        [
+          Alcotest.test_case "render" `Quick test_gantt_render;
+          Alcotest.test_case "scaling" `Quick test_gantt_scaling;
+          Alcotest.test_case "single layer" `Quick test_gantt_layer;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "chip" `Quick test_dot_chip;
+          Alcotest.test_case "assay" `Quick test_dot_assay;
+          Alcotest.test_case "schedule" `Quick test_dot_schedule;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "schedule" `Quick test_csv_schedule;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "paths and iterations" `Quick test_csv_paths_and_iterations;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_exporters_total_on_random ]);
+    ]

@@ -1,0 +1,116 @@
+(* Tests for the extension modules: the static fixed-slot strawman analysis
+   and the two additional protocols (AutoChIP, single-cell MDA). *)
+
+open Microfluidics
+module SB = Cohls.Static_baseline
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ---------- static baseline ---------- *)
+
+let test_static_schedule_determinate_case () =
+  (* on a determinate assay the static schedule and the hybrid schedule are
+     the same problem: exposure is zero on both sides *)
+  let assay = Assays.Kinase.base () in
+  let static, hybrid = SB.compare_hybrid assay in
+  check int_t "static exposure zero" 0 static.SB.exposed_slots;
+  check int_t "hybrid exposure zero" 0 hybrid.SB.exposed_slots
+
+let test_static_exposure_positive () =
+  (* with indeterminate captures, the one-layer static schedule has slots
+     after the captures' minimum ends; the hybrid schedule has none *)
+  let assay = Assays.Gene_expression.testcase () in
+  let static, hybrid = SB.compare_hybrid assay in
+  check bool "static exposes downstream slots" true (static.SB.exposed_slots > 0);
+  check int_t "hybrid exposure is zero by construction" 0 hybrid.SB.exposed_slots;
+  check bool "worst chain positive" true (static.SB.worst_chain > 0);
+  check int_t "slot counts agree" static.SB.total_slots hybrid.SB.total_slots
+
+let test_static_schedule_erases_indeterminacy () =
+  let assay = Assays.Gene_expression.base () in
+  let s = SB.static_schedule assay in
+  (* the determinised assay collapses to a single layer *)
+  check int_t "one layer" 1 (Array.length s.Cohls.Schedule.layers);
+  check bool "no entry marked indeterminate" true
+    (Array.for_all
+       (fun (l : Cohls.Schedule.layer_schedule) ->
+         List.for_all
+           (fun (e : Cohls.Schedule.entry) -> not e.Cohls.Schedule.indeterminate)
+           l.Cohls.Schedule.entries)
+       s.Cohls.Schedule.layers)
+
+let test_exposure_monotone_in_indets () =
+  (* more indeterminate pipelines -> at least as much static exposure *)
+  let exposure copies =
+    let assay = Assay.replicate (Assays.Mda.base ()) ~copies in
+    let static, _ = SB.compare_hybrid assay in
+    static.SB.exposed_slots
+  in
+  check bool "monotone" true (exposure 2 <= exposure 6)
+
+(* ---------- extra protocols ---------- *)
+
+let test_chip_assay_shape () =
+  let base = Assays.Chip_assay.base () in
+  check int_t "base ops" Assays.Chip_assay.base_op_count (Assay.operation_count base);
+  check int_t "determinate" 0 (Assay.indeterminate_count base);
+  let tc = Assays.Chip_assay.testcase () in
+  check int_t "testcase ops" 72 (Assay.operation_count tc);
+  check bool "valid" true (Assay.validate tc = Ok ())
+
+let test_mda_shape () =
+  let base = Assays.Mda.base () in
+  check int_t "base ops" Assays.Mda.base_op_count (Assay.operation_count base);
+  check int_t "one indet" 1 (Assay.indeterminate_count base);
+  let tc = Assays.Mda.testcase () in
+  check int_t "testcase ops" 60 (Assay.operation_count tc);
+  check int_t "testcase indets" 12 (Assay.indeterminate_count tc)
+
+let test_extra_protocols_synthesise () =
+  List.iter
+    (fun assay ->
+      let ours = Cohls.Synthesis.run assay in
+      (match Cohls.Schedule.validate ours.Cohls.Synthesis.final with
+       | Ok () -> ()
+       | Error e -> Alcotest.fail (Assay.name assay ^ ": " ^ e));
+      let conv = Cohls.Baseline.run assay in
+      check bool
+        (Assay.name assay ^ ": ours no slower")
+        true
+        (ours.Cohls.Synthesis.final_breakdown.Cohls.Schedule.fixed_minutes
+         <= conv.Cohls.Synthesis.final_breakdown.Cohls.Schedule.fixed_minutes))
+    [ Assays.Chip_assay.testcase (); Assays.Mda.testcase () ]
+
+let test_mda_layering () =
+  (* 12 indeterminate sorts with threshold 10: two indeterminate layers *)
+  let l = Cohls.Layering.compute (Assays.Mda.testcase ()) in
+  check int_t "layers" 3 (Cohls.Layering.layer_count l);
+  check int_t "first layer indets" 10
+    (List.length l.Cohls.Layering.layers.(0).Cohls.Layering.indeterminate);
+  check int_t "second layer indets" 2
+    (List.length l.Cohls.Layering.layers.(1).Cohls.Layering.indeterminate);
+  check bool "check" true (Cohls.Layering.check l = Ok ())
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "static-baseline",
+        [
+          Alcotest.test_case "determinate case has no exposure" `Quick
+            test_static_schedule_determinate_case;
+          Alcotest.test_case "static exposes, hybrid does not" `Slow
+            test_static_exposure_positive;
+          Alcotest.test_case "indeterminacy erased" `Quick
+            test_static_schedule_erases_indeterminacy;
+          Alcotest.test_case "exposure monotone" `Slow test_exposure_monotone_in_indets;
+        ] );
+      ( "protocols",
+        [
+          Alcotest.test_case "AutoChIP shape" `Quick test_chip_assay_shape;
+          Alcotest.test_case "MDA shape" `Quick test_mda_shape;
+          Alcotest.test_case "both synthesise" `Slow test_extra_protocols_synthesise;
+          Alcotest.test_case "MDA layering" `Quick test_mda_layering;
+        ] );
+    ]

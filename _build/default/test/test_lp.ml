@@ -1,0 +1,429 @@
+(* Tests for the from-scratch LP/MILP solver: linear expressions, the model
+   builder, both simplex instantiations, presolve and branch-and-bound. *)
+
+module Q = Numeric.Rat
+module E = Lp.Linexpr
+module M = Lp.Model
+module S = Lp.Simplex
+module BB = Lp.Branch_bound
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int_t = Alcotest.int
+let str = Alcotest.string
+let flt = Alcotest.float 1e-6
+
+(* ---------- Linexpr ---------- *)
+
+let test_linexpr_basic () =
+  let e = E.add (E.iterm 2 0) (E.iterm 3 1) in
+  check str "coeff x0" "2" (Q.to_string (E.coeff e 0));
+  check str "coeff x1" "3" (Q.to_string (E.coeff e 1));
+  check str "coeff x9" "0" (Q.to_string (E.coeff e 9));
+  check int_t "terms" 2 (List.length (E.terms e));
+  check int_t "max var" 1 (E.max_var e);
+  check bool "not constant" false (E.is_constant e);
+  check bool "zero constant" true (E.is_constant E.zero)
+
+let test_linexpr_cancellation () =
+  let e = E.add (E.iterm 2 0) (E.iterm (-2) 0) in
+  check bool "cancelled term disappears" true (E.is_constant e);
+  check int_t "max var of cancelled" (-1) (E.max_var e)
+
+let test_linexpr_eval () =
+  let e = E.add_constant (E.add (E.iterm 2 0) (E.iterm 3 1)) (Q.of_int 7) in
+  let value v = Q.of_int (if v = 0 then 10 else 1) in
+  check str "eval" "30" (Q.to_string (E.eval value e));
+  check flt "eval_float" 30.0 (E.eval_float (fun v -> if v = 0 then 10.0 else 1.0) e)
+
+let test_linexpr_scale_map () =
+  let e = E.scale_int 3 (E.add (E.var 0) (E.of_int 2)) in
+  check str "scaled coeff" "3" (Q.to_string (E.coeff e 0));
+  check str "scaled const" "6" (Q.to_string (E.const_part e));
+  let shifted = E.map_vars (fun v -> v + 5) e in
+  check str "mapped" "3" (Q.to_string (E.coeff shifted 5));
+  check str "orig var empty" "0" (Q.to_string (E.coeff shifted 0))
+
+(* ---------- Model ---------- *)
+
+let test_model_basics () =
+  let m = M.create ~name:"t" () in
+  let x = M.add_var m "x" in
+  let y = M.add_var m ~kind:M.Binary "y" in
+  check int_t "vars" 2 (M.var_count m);
+  check str "name" "x" (M.var_name m x);
+  check bool "binary is integer" true (M.is_integer_var m y);
+  check bool "continuous is not" false (M.is_integer_var m x);
+  check bool "binary ub" true (M.var_ub m y = Some Q.one);
+  M.add_constr m (E.var x) M.Le (E.of_int 5);
+  check int_t "constraints" 1 (M.constr_count m);
+  (* constants folded to the rhs *)
+  M.add_constr m (E.add (E.var x) (E.of_int 3)) M.Le (E.of_int 5);
+  (match M.constraints m with
+   | [ _; (_, _, _, rhs) ] -> check str "folded rhs" "2" (Q.to_string rhs)
+   | _ -> Alcotest.fail "expected two constraints")
+
+let test_model_unknown_var () =
+  let m = M.create () in
+  Alcotest.check_raises "constr with unknown var"
+    (Invalid_argument "Model.add_constr: expression uses unknown variable")
+    (fun () -> M.add_constr m (E.var 3) M.Le (E.of_int 1))
+
+let test_model_check_feasible () =
+  let m = M.create () in
+  let x = M.add_var m ~kind:M.Integer ~ub:(Q.of_int 10) "x" in
+  M.add_constr m (E.var x) M.Ge (E.of_int 2);
+  check int_t "feasible" 0 (List.length (M.check_feasible m (fun _ -> 3.0)));
+  check bool "bound violation detected" true
+    (List.length (M.check_feasible m (fun _ -> 11.0)) > 0);
+  check bool "constraint violation detected" true
+    (List.length (M.check_feasible m (fun _ -> 1.0)) > 0);
+  check bool "integrality violation detected" true
+    (List.length (M.check_feasible m (fun _ -> 2.5)) > 0)
+
+(* ---------- Simplex ---------- *)
+
+let wyndor () =
+  let m = M.create ~name:"wyndor" () in
+  let x = M.add_var m "x" in
+  let y = M.add_var m "y" in
+  M.add_constr m (E.var x) M.Le (E.of_int 4);
+  M.add_constr m (E.iterm 2 y) M.Le (E.of_int 12);
+  M.add_constr m (E.add (E.iterm 3 x) (E.iterm 2 y)) M.Le (E.of_int 18);
+  M.set_objective m `Maximize (E.add (E.iterm 3 x) (E.iterm 5 y));
+  (m, x, y)
+
+let test_simplex_optimal () =
+  let m, x, y = wyndor () in
+  (match S.solve_relaxation_float m with
+   | S.Optimal { objective; values } ->
+     check flt "objective" 36.0 objective;
+     check flt "x" 2.0 values.(x);
+     check flt "y" 6.0 values.(y)
+   | S.Infeasible | S.Unbounded -> Alcotest.fail "expected optimal");
+  match S.solve_relaxation_exact m with
+  | S.Optimal { objective; values } ->
+    check str "exact objective" "36" (Q.to_string objective);
+    check str "exact x" "2" (Q.to_string values.(x));
+    check str "exact y" "6" (Q.to_string values.(y))
+  | S.Infeasible | S.Unbounded -> Alcotest.fail "expected optimal (exact)"
+
+let test_simplex_infeasible () =
+  let m = M.create () in
+  let x = M.add_var m "x" in
+  M.add_constr m (E.var x) M.Ge (E.of_int 5);
+  M.add_constr m (E.var x) M.Le (E.of_int 2);
+  (match S.solve_relaxation_float m with
+   | S.Infeasible -> ()
+   | S.Optimal _ | S.Unbounded -> Alcotest.fail "expected infeasible")
+
+let test_simplex_unbounded () =
+  let m = M.create () in
+  let x = M.add_var m "x" in
+  M.set_objective m `Maximize (E.var x);
+  (match S.solve_relaxation_float m with
+   | S.Unbounded -> ()
+   | S.Optimal _ | S.Infeasible -> Alcotest.fail "expected unbounded")
+
+let test_simplex_equality_and_free () =
+  (* min x + y st x + y = 10, x - y = 4, x free, y free -> x=7 y=3 *)
+  let m = M.create () in
+  let x = M.add_var m "x" in
+  let y = M.add_var m "y" in
+  M.set_bounds m x None None;
+  M.set_bounds m y None None;
+  M.add_constr m (E.add (E.var x) (E.var y)) M.Eq (E.of_int 10);
+  M.add_constr m (E.sub (E.var x) (E.var y)) M.Eq (E.of_int 4);
+  M.set_objective m `Minimize (E.add (E.var x) (E.var y));
+  match S.solve_relaxation_float m with
+  | S.Optimal { objective; values } ->
+    check flt "objective" 10.0 objective;
+    check flt "x" 7.0 values.(x);
+    check flt "y" 3.0 values.(y)
+  | S.Infeasible | S.Unbounded -> Alcotest.fail "expected optimal"
+
+let test_simplex_negative_bounds () =
+  (* min x st x >= -5 -> -5 *)
+  let m = M.create () in
+  let x = M.add_var m ~lb:(Q.of_int (-5)) "x" in
+  M.set_objective m `Minimize (E.var x);
+  (match S.solve_relaxation_float m with
+   | S.Optimal { objective; _ } -> check flt "objective" (-5.0) objective
+   | S.Infeasible | S.Unbounded -> Alcotest.fail "expected optimal");
+  (* max x st x <= -2 (upper bound only) *)
+  let m2 = M.create () in
+  let y = M.add_var m2 "y" in
+  M.set_bounds m2 y None (Some (Q.of_int (-2)));
+  M.set_objective m2 `Maximize (E.var y);
+  match S.solve_relaxation_float m2 with
+  | S.Optimal { objective; _ } -> check flt "ub only" (-2.0) objective
+  | S.Infeasible | S.Unbounded -> Alcotest.fail "expected optimal"
+
+let test_simplex_fixed_var () =
+  let m = M.create () in
+  let x = M.add_var m ~lb:(Q.of_int 3) ~ub:(Q.of_int 3) "x" in
+  let y = M.add_var m ~ub:(Q.of_int 10) "y" in
+  M.add_constr m (E.add (E.var x) (E.var y)) M.Le (E.of_int 8);
+  M.set_objective m `Maximize (E.add (E.var x) (E.var y));
+  match S.solve_relaxation_float m with
+  | S.Optimal { objective; values } ->
+    check flt "objective" 8.0 objective;
+    check flt "fixed" 3.0 values.(x)
+  | S.Infeasible | S.Unbounded -> Alcotest.fail "expected optimal"
+
+let test_simplex_crossed_bounds () =
+  let m = M.create () in
+  let _ = M.add_var m ~lb:(Q.of_int 5) ~ub:(Q.of_int 2) "x" in
+  match S.solve_relaxation_float m with
+  | S.Infeasible -> ()
+  | S.Optimal _ | S.Unbounded -> Alcotest.fail "expected infeasible"
+
+let test_simplex_degenerate () =
+  (* Classic cycling-prone instance (Beale); Bland fallback must terminate. *)
+  let m = M.create () in
+  let x = Array.init 4 (fun i -> M.add_var m (Printf.sprintf "x%d" i)) in
+  let c q v = E.term (Q.of_float_approx q) v in
+  M.add_constr m
+    (E.sum [ c 0.25 x.(0); c (-8.0) x.(1); c (-1.0) x.(2); c 9.0 x.(3) ])
+    M.Le E.zero;
+  M.add_constr m
+    (E.sum [ c 0.5 x.(0); c (-12.0) x.(1); c (-0.5) x.(2); c 3.0 x.(3) ])
+    M.Le E.zero;
+  M.add_constr m (E.var x.(2)) M.Le (E.of_int 1);
+  M.set_objective m `Maximize
+    (E.sum [ c 0.75 x.(0); c (-20.0) x.(1); c 0.5 x.(2); c (-6.0) x.(3) ]);
+  match S.solve_relaxation_float m with
+  | S.Optimal { objective; _ } -> check flt "beale optimum" 1.25 objective
+  | S.Infeasible | S.Unbounded -> Alcotest.fail "expected optimal"
+
+(* exact and float simplex agree on random small LPs *)
+let arb_lp =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 4 >>= fun nvars ->
+      int_range 1 5 >>= fun nrows ->
+      let coeff = int_range (-5) 5 in
+      list_size (return nrows)
+        (pair (list_size (return nvars) coeff) (int_range 0 20))
+      >>= fun rows ->
+      list_size (return nvars) coeff >>= fun obj -> return (nvars, rows, obj))
+  in
+  QCheck.make gen ~print:(fun (n, rows, obj) ->
+      Printf.sprintf "n=%d rows=%s obj=%s" n
+        (String.concat ";"
+           (List.map
+              (fun (cs, b) ->
+                String.concat "," (List.map string_of_int cs) ^ "<=" ^ string_of_int b)
+              rows))
+        (String.concat "," (List.map string_of_int obj)))
+
+let build_lp (nvars, rows, obj) =
+  let m = M.create () in
+  let xs = Array.init nvars (fun i -> M.add_var m ~ub:(Q.of_int 50) (Printf.sprintf "x%d" i)) in
+  List.iter
+    (fun (cs, b) ->
+      let e = E.sum (List.mapi (fun i c -> E.iterm c xs.(i)) cs) in
+      M.add_constr m e M.Le (E.of_int b))
+    rows;
+  M.set_objective m `Maximize (E.sum (List.mapi (fun i c -> E.iterm c xs.(i)) obj));
+  m
+
+let prop_exact_matches_float =
+  QCheck.Test.make ~name:"exact and float simplex agree" ~count:150 arb_lp (fun spec ->
+      let m = build_lp spec in
+      match (S.solve_relaxation_float m, S.solve_relaxation_exact m) with
+      | S.Optimal { objective = f; _ }, S.Optimal { objective = q; _ } ->
+        Float.abs (f -. Q.to_float q) < 1e-6
+      | S.Infeasible, S.Infeasible | S.Unbounded, S.Unbounded -> true
+      | _, _ -> false)
+
+(* ---------- Presolve ---------- *)
+
+let test_presolve_tightens () =
+  let m = M.create () in
+  let x = M.add_var m ~kind:M.Integer ~ub:(Q.of_int 100) "x" in
+  let y = M.add_var m ~kind:M.Integer ~ub:(Q.of_int 100) "y" in
+  M.add_constr m (E.add (E.var x) (E.var y)) M.Le (E.of_int 7);
+  (match Lp.Presolve.run m with
+   | Lp.Presolve.Ok changes -> check bool "changed" true (changes > 0)
+   | Lp.Presolve.Proved_infeasible -> Alcotest.fail "not infeasible");
+  check bool "x ub tightened" true (M.var_ub m x = Some (Q.of_int 7));
+  check bool "y ub tightened" true (M.var_ub m y = Some (Q.of_int 7))
+
+let test_presolve_integer_rounding () =
+  let m = M.create () in
+  let x = M.add_var m ~kind:M.Integer ~ub:(Q.of_int 10) "x" in
+  M.add_constr m (E.iterm 2 x) M.Le (E.of_int 7);
+  ignore (Lp.Presolve.run m);
+  check bool "rounded down to 3" true (M.var_ub m x = Some (Q.of_int 3))
+
+let test_presolve_infeasible () =
+  let m = M.create () in
+  let x = M.add_var m ~ub:(Q.of_int 1) "x" in
+  M.add_constr m (E.var x) M.Ge (E.of_int 5);
+  match Lp.Presolve.run m with
+  | Lp.Presolve.Proved_infeasible -> ()
+  | Lp.Presolve.Ok _ -> Alcotest.fail "expected infeasible"
+
+(* ---------- Branch and bound ---------- *)
+
+let test_bb_knapsack () =
+  let m = M.create () in
+  let xs = Array.init 4 (fun i -> M.add_var m ~kind:M.Binary (Printf.sprintf "x%d" i)) in
+  let w = [| 5; 7; 4; 3 |] and p = [| 8; 11; 6; 4 |] in
+  M.add_constr m
+    (E.sum (List.init 4 (fun i -> E.iterm w.(i) xs.(i))))
+    M.Le (E.of_int 14);
+  M.set_objective m `Maximize (E.sum (List.init 4 (fun i -> E.iterm p.(i) xs.(i))));
+  let r = BB.solve m in
+  check bool "optimal" true (r.BB.status = BB.Optimal);
+  (match r.BB.objective with
+   | Some obj -> check flt "objective 21" 21.0 obj
+   | None -> Alcotest.fail "no objective");
+  check bool "gap zero" true (r.BB.gap = Some 0.0)
+
+let test_bb_integer_infeasible () =
+  let m = M.create () in
+  let x = M.add_var m ~kind:M.Integer ~ub:(Q.of_int 10) "x" in
+  M.add_constr m (E.iterm 2 x) M.Eq (E.of_int 1);
+  let r = BB.solve m in
+  check bool "infeasible" true (r.BB.status = BB.Infeasible)
+
+let test_bb_unbounded () =
+  let m = M.create () in
+  let x = M.add_var m ~kind:M.Integer "x" in
+  M.set_objective m `Maximize (E.var x);
+  let r = BB.solve m in
+  check bool "unbounded" true (r.BB.status = BB.Unbounded)
+
+let test_bb_warm_start () =
+  let m = M.create () in
+  let xs = Array.init 3 (fun i -> M.add_var m ~kind:M.Binary (Printf.sprintf "x%d" i)) in
+  M.add_constr m (E.sum (Array.to_list (Array.map E.var xs))) M.Le (E.of_int 2);
+  M.set_objective m `Maximize (E.sum (Array.to_list (Array.map E.var xs)));
+  let warm = [| 1.0; 1.0; 0.0 |] in
+  let r = BB.solve ~warm_start:warm m in
+  (match r.BB.objective with
+   | Some obj -> check flt "optimum found" 2.0 obj
+   | None -> Alcotest.fail "no objective")
+
+let test_bb_node_limit () =
+  (* A tiny node limit must still return the warm-start incumbent. *)
+  let m = M.create () in
+  let xs = Array.init 6 (fun i -> M.add_var m ~kind:M.Binary (Printf.sprintf "x%d" i)) in
+  M.add_constr m
+    (E.sum (List.init 6 (fun i -> E.iterm (i + 3) xs.(i))))
+    M.Le (E.of_int 11);
+  M.set_objective m `Maximize (E.sum (Array.to_list (Array.map E.var xs)));
+  let warm = [| 1.0; 1.0; 0.0; 0.0; 0.0; 0.0 |] in
+  let options = { BB.default_options with BB.node_limit = Some 1 } in
+  let r = BB.solve ~options ~warm_start:warm m in
+  check bool "has incumbent" true (r.BB.values <> None);
+  check bool "not proved optimal" true (r.BB.status <> BB.Infeasible)
+
+let test_bb_minimize () =
+  (* min 3x + 4y st x + 2y >= 7, ints -> x=1 y=3: 15  or x=7 y=0: 21; optimum
+     x=1,y=3 = 15?  check: x+2y>=7 minimise 3x+4y: try y=3,x=1 -> 15; y=2,x=3
+     -> 17; y=4 x=0 -> 16. So 15. *)
+  let m = M.create () in
+  let x = M.add_var m ~kind:M.Integer ~ub:(Q.of_int 10) "x" in
+  let y = M.add_var m ~kind:M.Integer ~ub:(Q.of_int 10) "y" in
+  M.add_constr m (E.add (E.var x) (E.iterm 2 y)) M.Ge (E.of_int 7);
+  M.set_objective m `Minimize (E.add (E.iterm 3 x) (E.iterm 4 y));
+  let r = BB.solve m in
+  match r.BB.objective with
+  | Some obj -> check flt "minimum 15" 15.0 obj
+  | None -> Alcotest.fail "no objective"
+
+(* brute force 0/1 knapsack comparison *)
+let arb_knapsack =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 8 >>= fun n ->
+      list_size (return n) (pair (int_range 1 9) (int_range 1 9)) >>= fun items ->
+      int_range 5 25 >>= fun capacity -> return (items, capacity))
+  in
+  QCheck.make gen ~print:(fun (items, cap) ->
+      Printf.sprintf "cap=%d items=%s" cap
+        (String.concat ";" (List.map (fun (w, p) -> Printf.sprintf "%d/%d" w p) items)))
+
+let brute_knapsack items capacity =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let w = ref 0 and p = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        w := !w + fst arr.(i);
+        p := !p + snd arr.(i)
+      end
+    done;
+    if !w <= capacity && !p > !best then best := !p
+  done;
+  !best
+
+let prop_bb_matches_brute_force =
+  QCheck.Test.make ~name:"branch-and-bound solves knapsacks exactly" ~count:100
+    arb_knapsack (fun (items, capacity) ->
+      let m = M.create () in
+      let xs =
+        List.mapi (fun i _ -> M.add_var m ~kind:M.Binary (Printf.sprintf "x%d" i)) items
+      in
+      M.add_constr m
+        (E.sum (List.map2 (fun x (w, _) -> E.iterm w x) xs items))
+        M.Le (E.of_int capacity);
+      M.set_objective m `Maximize
+        (E.sum (List.map2 (fun x (_, p) -> E.iterm p x) xs items));
+      let r = BB.solve m in
+      match r.BB.objective with
+      | Some obj ->
+        Float.abs (obj -. float_of_int (brute_knapsack items capacity)) < 1e-6
+      | None -> false)
+
+let () =
+  let qsuite tests = List.map QCheck_alcotest.to_alcotest tests in
+  Alcotest.run "lp"
+    [
+      ( "linexpr",
+        [
+          Alcotest.test_case "basic" `Quick test_linexpr_basic;
+          Alcotest.test_case "cancellation" `Quick test_linexpr_cancellation;
+          Alcotest.test_case "eval" `Quick test_linexpr_eval;
+          Alcotest.test_case "scale/map" `Quick test_linexpr_scale_map;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "basics" `Quick test_model_basics;
+          Alcotest.test_case "unknown var" `Quick test_model_unknown_var;
+          Alcotest.test_case "check_feasible" `Quick test_model_check_feasible;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "optimal" `Quick test_simplex_optimal;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "equality + free vars" `Quick test_simplex_equality_and_free;
+          Alcotest.test_case "negative bounds" `Quick test_simplex_negative_bounds;
+          Alcotest.test_case "fixed var" `Quick test_simplex_fixed_var;
+          Alcotest.test_case "crossed bounds" `Quick test_simplex_crossed_bounds;
+          Alcotest.test_case "degenerate (Beale)" `Quick test_simplex_degenerate;
+        ] );
+      ("simplex-props", qsuite [ prop_exact_matches_float ]);
+      ( "presolve",
+        [
+          Alcotest.test_case "tightens bounds" `Quick test_presolve_tightens;
+          Alcotest.test_case "integer rounding" `Quick test_presolve_integer_rounding;
+          Alcotest.test_case "proves infeasible" `Quick test_presolve_infeasible;
+        ] );
+      ( "branch-bound",
+        [
+          Alcotest.test_case "knapsack" `Quick test_bb_knapsack;
+          Alcotest.test_case "integer infeasible" `Quick test_bb_integer_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_bb_unbounded;
+          Alcotest.test_case "warm start" `Quick test_bb_warm_start;
+          Alcotest.test_case "node limit keeps incumbent" `Quick test_bb_node_limit;
+          Alcotest.test_case "minimisation" `Quick test_bb_minimize;
+        ] );
+      ("bb-props", qsuite [ prop_bb_matches_brute_force ]);
+    ]
