@@ -54,14 +54,20 @@ let cases =
   ]
 
 let results = Hashtbl.create 8
+let case_seconds = Hashtbl.create 8
 
 let run_case case =
   match Hashtbl.find_opt results case.label with
   | Some r -> r
   | None ->
     let assay = Lazy.force case.assay in
-    let ours = Syn.run assay in
-    let conv = Cohls.Baseline.run assay in
+    let (ours, conv), dt =
+      Telemetry.Clock.timed (fun () ->
+          let ours = Syn.run assay in
+          let conv = Cohls.Baseline.run assay in
+          (ours, conv))
+    in
+    Hashtbl.replace case_seconds case.label dt;
     (match Cohls.Schedule.validate ours.Syn.final with
      | Ok () -> ()
      | Error e -> Format.fprintf fmt "WARNING %s ours invalid: %s@." case.label e);
@@ -381,9 +387,7 @@ let ablation () =
   List.iter
     (fun copies ->
       let assay = Assay.replicate (Assays.Gene_expression.base ()) ~copies in
-      let t0 = Unix.gettimeofday () in
-      let r = Syn.run assay in
-      let dt = Unix.gettimeofday () -. t0 in
+      let r, dt = Telemetry.Clock.timed (fun () -> Syn.run assay) in
       Format.fprintf fmt "  %4d ops: %7.3fs, %d layers, %d devices, time %s@."
         (Assay.operation_count assay)
         dt
@@ -497,11 +501,95 @@ let micro () =
   in
   List.iter report tests
 
+(* ---------------------------------------------------------------- json *)
+
+(* Machine-readable perf-trajectory artifact: per-case synthesis quality
+   and wall time plus the full telemetry stats of the run, so successive
+   benchmark runs can be diffed by tooling rather than by eye. *)
+let json_report ~experiment ~wall_seconds =
+  let module J = Telemetry.Json in
+  let breakdown_json (r : Syn.result) =
+    let b = r.Syn.final_breakdown in
+    J.Obj
+      [
+        ("exe_time", J.String (Cohls.Report.exe_time_string r));
+        ("fixed_minutes", J.Int b.Cohls.Schedule.fixed_minutes);
+        ("devices", J.Int b.Cohls.Schedule.devices);
+        ("paths", J.Int b.Cohls.Schedule.paths);
+        ("area", J.Int b.Cohls.Schedule.area);
+        ("processing", J.Int b.Cohls.Schedule.processing);
+        ("weighted", J.Int b.Cohls.Schedule.weighted);
+        ("iterations", J.Int (List.length r.Syn.iterations));
+        ("runtime_seconds", J.Float r.Syn.runtime_seconds);
+      ]
+  in
+  let case_json case =
+    match Hashtbl.find_opt results case.label with
+    | None -> None
+    | Some (ours, conv) ->
+      Some
+        (J.Obj
+           [
+             ("label", J.String case.label);
+             ("ops", J.Int case.ops);
+             ("indeterminate_ops", J.Int case.indets);
+             ( "wall_seconds",
+               match Hashtbl.find_opt case_seconds case.label with
+               | Some dt -> J.Float dt
+               | None -> J.Null );
+             ("ours", breakdown_json ours);
+             ("conventional", breakdown_json conv);
+             ("paper_conventional", J.String case.paper_conv);
+             ("paper_ours", J.String case.paper_ours);
+           ])
+  in
+  let meta =
+    [
+      ("tool", J.String "cohls bench");
+      ("experiment", J.String experiment);
+      ("wall_seconds", J.Float wall_seconds);
+    ]
+  in
+  let cases_json = J.List (List.filter_map case_json cases) in
+  (* splice: both sides are compact JSON objects, so we can graft the
+     telemetry report in as a field without re-parsing it *)
+  let telemetry = Telemetry.Export.stats_json () in
+  let head =
+    J.to_string (J.Obj (("meta", J.Obj meta) :: [ ("cases", cases_json) ]))
+  in
+  String.sub head 0 (String.length head - 1) ^ ",\"telemetry\":" ^ telemetry ^ "}"
+
 (* ---------------------------------------------------------------- main *)
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  let t0 = Unix.gettimeofday () in
+  let json_path = ref None in
+  let what = ref None in
+  let rec parse i =
+    if i < Array.length Sys.argv then begin
+      (match Sys.argv.(i) with
+       | "--json" when i + 1 < Array.length Sys.argv ->
+         json_path := Some Sys.argv.(i + 1);
+         parse (i + 2) |> ignore
+       | "--json" ->
+         Format.fprintf fmt "--json expects a file argument@.";
+         exit 1
+       | arg ->
+         (match !what with
+          | None -> what := Some arg
+          | Some _ ->
+            Format.fprintf fmt "unexpected argument %s@." arg;
+            exit 1);
+         parse (i + 1) |> ignore);
+      ()
+    end
+  in
+  parse 1;
+  let what = Option.value !what ~default:"all" in
+  if !json_path <> None then begin
+    Telemetry.enable ();
+    Telemetry.reset ()
+  end;
+  let t0 = Telemetry.Clock.now_s () in
   (match what with
    | "table2" -> table2 ()
    | "table3" -> table3 ()
@@ -523,4 +611,12 @@ let () =
        "unknown experiment %s (table2|table3|fig4|fig5|fig6|ablation|micro|all)@."
        other;
      exit 1);
-  Format.fprintf fmt "@.total bench wall time: %.1fs@." (Unix.gettimeofday () -. t0)
+  let wall = Telemetry.Clock.now_s () -. t0 in
+  (match !json_path with
+   | Some path ->
+     let oc = open_out path in
+     output_string oc (json_report ~experiment:what ~wall_seconds:wall);
+     close_out oc;
+     Format.fprintf fmt "@.wrote %s@." path
+   | None -> ());
+  Format.fprintf fmt "@.total bench wall time: %.1fs@." wall

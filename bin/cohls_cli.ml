@@ -93,6 +93,13 @@ let csv_arg =
   let doc = "Write the schedule as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record telemetry and write a Chrome trace_event JSON of the run to \
+     $(docv) (open in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds =
   let engine =
     if ilp then
@@ -130,8 +137,22 @@ let write_file path content =
   output_string oc content;
   close_out oc
 
+(* Enable the collector for the duration of [f] when a trace file was
+   requested, then dump the Chrome trace. *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Telemetry.enable ();
+    Telemetry.reset ();
+    let result = f () in
+    write_file path (Telemetry.Export.chrome_trace ());
+    Telemetry.disable ();
+    Format.printf "wrote %s@." path;
+    result
+
 let synth case file rule threshold devices iterations ilp ilp_seconds schedule gantt
-    control physical dot csv =
+    control physical dot csv trace =
   handle_result
     (let ( let* ) = Result.bind in
      let* assay = assay_of ~case ~file in
@@ -170,9 +191,10 @@ let synth case file rule threshold devices iterations ilp ilp_seconds schedule g
         | Ok () -> Format.printf "schedule validates: OK@."; Ok ()
         | Error e -> Error (`Msg ("internal: schedule invalid: " ^ e)))
      in
-     try run () with
+     try with_trace trace run with
      | Cohls.List_scheduler.No_device op ->
-       Error (`Msg (Printf.sprintf "device cap %d too small (operation %d fits no device)" devices op)))
+       Error (`Msg (Printf.sprintf "device cap %d too small (operation %d fits no device)" devices op))
+     | Sys_error e -> Error (`Msg e))
 
 let synth_cmd =
   let info = Cmd.info "synth" ~doc:"Synthesise a hybrid schedule for a bioassay." in
@@ -181,7 +203,63 @@ let synth_cmd =
       ret
         (const synth $ case_arg $ file_arg $ rule_arg $ threshold_arg $ devices_arg
          $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ schedule_arg $ gantt_arg
-         $ control_arg $ physical_arg $ dot_arg $ csv_arg))
+         $ control_arg $ physical_arg $ dot_arg $ csv_arg $ trace_arg))
+
+(* ---------- stats ---------- *)
+
+let stats_json_arg =
+  let doc = "Write the solver-statistics report as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let stats case file rule threshold devices iterations ilp ilp_seconds json trace =
+  handle_result
+    (let ( let* ) = Result.bind in
+     let* assay = assay_of ~case ~file in
+     let config = config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds in
+     try
+       Telemetry.enable ();
+       Telemetry.reset ();
+       let r = Syn.run ~config assay in
+       (match trace with
+        | Some path ->
+          write_file path (Telemetry.Export.chrome_trace ());
+          Format.printf "wrote %s@." path
+        | None -> ());
+       Format.printf "%a@.@." Cohls.Report.schedule_summary r;
+       print_string (Telemetry.Export.stats_table ());
+       (match json with
+        | Some path ->
+          let meta =
+            [
+              ("tool", Telemetry.Json.String "cohls stats");
+              ("case", Telemetry.Json.String case);
+              ( "rule",
+                Telemetry.Json.String (Cohls.Binding.rule_name config.Syn.rule) );
+            ]
+          in
+          write_file path (Telemetry.Export.stats_json ~meta ());
+          Format.printf "wrote %s@." path
+        | None -> ());
+       Telemetry.disable ();
+       Ok ()
+     with
+     | Cohls.List_scheduler.No_device op ->
+       Error (`Msg (Printf.sprintf "device cap %d too small (operation %d fits no device)" devices op))
+     | Sys_error e -> Error (`Msg e))
+
+let stats_cmd =
+  let info =
+    Cmd.info "stats"
+      ~doc:
+        "Synthesise with the telemetry collector enabled and report solver \
+         counters (simplex pivots, branch-and-bound nodes, layering \
+         evictions, re-synthesis passes) as a table or JSON."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const stats $ case_arg $ file_arg $ rule_arg $ threshold_arg $ devices_arg
+         $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ stats_json_arg $ trace_arg))
 
 (* ---------- layering ---------- *)
 
@@ -270,6 +348,6 @@ let compare_cmd =
 let main_cmd =
   let doc = "Component-oriented high-level synthesis for continuous-flow microfluidics (DAC'17 reproduction)." in
   let info = Cmd.info "cohls" ~version:"1.0.0" ~doc in
-  Cmd.group info [ synth_cmd; layering_cmd; execute_cmd; compare_cmd ]
+  Cmd.group info [ synth_cmd; stats_cmd; layering_cmd; execute_cmd; compare_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -54,7 +54,16 @@ let run_heuristic input ~fresh_id =
     ~transport:input.transport ~existing_paths:input.existing_paths ~fresh_id
 
 let solve engine input ~fresh_id =
-  let heur = run_heuristic input ~fresh_id in
+  Telemetry.span "layer.solve"
+    ~attrs:
+      [
+        ("layer", string_of_int input.layer.Layering.index);
+        ("engine", match engine with Heuristic -> "heuristic" | Ilp _ -> "ilp");
+        ("ops", string_of_int (List.length input.layer.Layering.ops));
+      ]
+  @@ fun () ->
+  Telemetry.count "layer.solves";
+  let heur = Telemetry.span "layer.heuristic" (fun () -> run_heuristic input ~fresh_id) in
   match engine with
   | Heuristic ->
     {
@@ -64,6 +73,7 @@ let solve engine input ~fresh_id =
       used_ilp = false;
     }
   | Ilp { options; extra_free_slots } ->
+    Telemetry.span "layer.ilp" @@ fun () ->
     let n_created = List.length heur.List_scheduler.created in
     let n_avail = List.length input.available in
     let free_count =
@@ -103,6 +113,7 @@ let solve engine input ~fresh_id =
       | _, _, _ -> (false, None)
     in
     if use_ilp then begin
+      Telemetry.count "layer.ilp_improved";
       match values with
       | None -> assert false
       | Some values ->
@@ -115,10 +126,12 @@ let solve engine input ~fresh_id =
         in
         { entries; fixed_makespan; created; used_ilp = true }
     end
-    else
+    else begin
+      Telemetry.count "layer.ilp_rejected";
       {
         entries = heur.List_scheduler.entries;
         fixed_makespan = heur.List_scheduler.fixed_makespan;
         created = heur.List_scheduler.created;
         used_ilp = false;
       }
+    end

@@ -98,6 +98,8 @@ let dependency_based_allocation g is_indet ~choice working =
       loop ()
   in
   loop ();
+  Telemetry.count "layering.mis_rounds";
+  Telemetry.count ~by:(Iset.cardinal !selected) "layering.mis_selected";
   (Iset.diff working !pushed, !selected)
 
 (* Eviction cost of indeterminate [v] from the layer [kept] (Fig. 5): a
@@ -106,6 +108,7 @@ let dependency_based_allocation g is_indet ~choice working =
    reagents stored at the boundary; the nearest-sink cut moves the fewest
    ancestors out. Returns (storage_cost, moved_set including v). *)
 let eviction_cut g kept v =
+  Telemetry.count "layering.min_cuts";
   let anc = ancestors_within g kept v in
   if Iset.is_empty anc then (0, Iset.singleton v)
   else begin
@@ -190,7 +193,9 @@ let resource_based_allocation g is_indet threshold kept selected =
     in
     match best with
     | None -> stop := true
-    | Some (_, _, _, closure) ->
+    | Some (c, _, _, closure) ->
+      Telemetry.count "layering.evictions";
+      Telemetry.observe "layering.eviction_storage_cost" (float_of_int c);
       kept := Iset.diff !kept closure;
       selected := Iset.diff !selected closure
   done;
@@ -201,6 +206,8 @@ let compute ?(threshold = 10) ?(choice = Smallest_id) assay =
   (match Assay.validate assay with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Layering.compute: " ^ msg));
+  Telemetry.span "layering.compute" ~attrs:[ ("assay", Assay.name assay) ]
+  @@ fun () ->
   let g = Assay.dependency_graph assay in
   let ops = Assay.operations assay in
   let n = Array.length ops in
@@ -233,6 +240,7 @@ let compute ?(threshold = 10) ?(choice = Smallest_id) assay =
       :: !layers;
     incr index
   done;
+  Telemetry.count ~by:!index "layering.layers";
   { assay; threshold; layers = Array.of_list (List.rev !layers); layer_of_op }
 
 let layer_count t = Array.length t.layers

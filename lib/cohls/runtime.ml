@@ -39,6 +39,13 @@ let retry_oracle ~seed ~success_probability ~attempt_minutes assay =
       else attempts (k + 1)
     in
     let n = attempts 0 in
+    Telemetry.count "runtime.retry_oracle.calls";
+    if n > 1 then begin
+      (* the oracle had to intervene: at least one attempt failed and the
+         operation was retried at the layer boundary *)
+      Telemetry.count "runtime.retry_oracle.interventions";
+      Telemetry.count ~by:(n - 1) "runtime.retry_oracle.retries"
+    end;
     Stdlib.max (Operation.min_duration ops.(op)) (n * attempt_minutes)
 
 type event = {
@@ -92,7 +99,10 @@ let execute (s : Schedule.t) oracle =
             if finish > !layer_end then layer_end := finish)
           l.Schedule.entries;
         let fixed_end = layer_start + l.Schedule.fixed_makespan in
-        waits := (l.Schedule.layer_index, !layer_end - fixed_end) :: !waits;
+        let wait = !layer_end - fixed_end in
+        if wait > 0 then Telemetry.count "runtime.layer_interventions";
+        Telemetry.observe "runtime.layer_wait_minutes" (float_of_int wait);
+        waits := (l.Schedule.layer_index, wait) :: !waits;
         boundaries := (l.Schedule.layer_index, !layer_end) :: !boundaries;
         clock := !layer_end)
       s.Schedule.layers;

@@ -169,7 +169,9 @@ let run_pass cfg assay layering transport ~pool ~penalty ~fresh_id =
   (schedule, created_by_layer)
 
 let run ?(config = default_config) assay =
-  let started = Unix.gettimeofday () in
+  Telemetry.span "synthesis.run" ~attrs:[ ("assay", Assay.name assay) ]
+  @@ fun () ->
+  let started = Telemetry.Clock.now_s () in
   (match Assay.validate assay with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Synthesis.run: " ^ msg));
@@ -186,10 +188,12 @@ let run ?(config = default_config) assay =
   (* first pass: forward inheritance only, constant transportation times *)
   let transport0 = Transport.constant ~op_count config.initial_transport in
   let schedule0, created0 =
-    run_pass config assay layering transport0 ~pool:[]
-      ~penalty:(fun _ _ -> 0)
-      ~fresh_id
+    Telemetry.span "synthesis.pass" ~attrs:[ ("pass", "0") ] (fun () ->
+        run_pass config assay layering transport0 ~pool:[]
+          ~penalty:(fun _ _ -> 0)
+          ~fresh_id)
   in
+  Telemetry.count "synthesis.passes";
   let breakdown0 = Schedule.evaluate ~weights:config.weights config.cost schedule0 in
   let iterations = ref [ { iteration_index = 0; schedule = schedule0; breakdown = breakdown0 } ] in
   let continue = ref (config.max_iterations > 1) in
@@ -235,15 +239,20 @@ let run ?(config = default_config) assay =
       end
       else 0
     in
+    let k = List.length !iterations in
     let schedule, created =
-      run_pass config assay layering transport ~pool:prev_devices ~penalty ~fresh_id
+      Telemetry.span "synthesis.pass" ~attrs:[ ("pass", string_of_int k) ]
+        (fun () ->
+          run_pass config assay layering transport ~pool:prev_devices ~penalty
+            ~fresh_id)
     in
     let breakdown = Schedule.evaluate ~weights:config.weights config.cost schedule in
-    let k = List.length !iterations in
+    Telemetry.count "synthesis.passes";
     (* accept a pass only when the full weighted objective improves (a pure
        time gain bought with extra devices or channels is no improvement);
        stop when the execution-time gain becomes marginal *)
     if breakdown.Schedule.weighted < prev_breakdown.Schedule.weighted then begin
+      Telemetry.count "synthesis.passes_accepted";
       iterations := { iteration_index = k; schedule; breakdown } :: !iterations;
       prev := (schedule, created);
       let improvement =
@@ -251,10 +260,14 @@ let run ?(config = default_config) assay =
           (prev_breakdown.Schedule.fixed_minutes - breakdown.Schedule.fixed_minutes)
         /. float_of_int (max 1 prev_breakdown.Schedule.fixed_minutes)
       in
+      Telemetry.observe "synthesis.pass_improvement" improvement;
       if improvement <= config.improvement_threshold || k + 1 >= config.max_iterations
       then continue := false
     end
-    else continue := false
+    else begin
+      Telemetry.count "synthesis.passes_rejected";
+      continue := false
+    end
   done;
   let iterations = List.rev !iterations in
   let final_iteration = List.nth iterations (List.length iterations - 1) in
@@ -264,7 +277,7 @@ let run ?(config = default_config) assay =
     iterations;
     final = final_iteration.schedule;
     final_breakdown = final_iteration.breakdown;
-    runtime_seconds = Unix.gettimeofday () -. started;
+    runtime_seconds = Telemetry.Clock.now_s () -. started;
   }
 
 let improvement_history result =

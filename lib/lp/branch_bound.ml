@@ -37,7 +37,7 @@ type search_state = {
   mutable best_bound : float; (* lowest open relaxation bound seen at cut-off *)
 }
 
-let now () = Unix.gettimeofday ()
+let now () = Telemetry.Clock.now_s ()
 
 let limits_hit st =
   (match st.opts.time_limit with
@@ -73,6 +73,8 @@ let try_incumbent st values internal_obj =
     if internal_obj < st.incumbent_obj -. 1e-9 then begin
       st.incumbent <- Some rounded;
       st.incumbent_obj <- internal_obj;
+      Telemetry.count "lp.bb.incumbents";
+      Telemetry.observe "lp.bb.incumbent_obj" (st.dir_sign *. internal_obj);
       if st.opts.log then
         Printf.eprintf "[bb] node %d: incumbent %.6g\n%!" st.nodes
           (st.dir_sign *. internal_obj)
@@ -87,7 +89,15 @@ let rec search st depth =
     raise Stop_search
   end;
   st.nodes <- st.nodes + 1;
-  match Simplex.solve_relaxation_float st.model with
+  let deadline =
+    match st.opts.time_limit with Some t -> Some (st.started +. t) | None -> None
+  in
+  match Simplex.solve_relaxation_float ?deadline st.model with
+  | exception Tableau.Deadline_exceeded ->
+    (* one relaxation outlived the whole time budget: abandon the search but
+       keep any incumbent (e.g. the warm start) *)
+    st.proven <- false;
+    raise Stop_search
   | Simplex.Infeasible -> ()
   | Simplex.Unbounded ->
     (* An unbounded relaxation at the root means the MILP is unbounded or
@@ -97,6 +107,7 @@ let rec search st depth =
     let internal = st.dir_sign *. objective in
     if internal >= st.incumbent_obj -. 1e-9 then begin
       (* pruned by bound; remember the tightest open bound for gap report *)
+      Telemetry.count "lp.bb.pruned_by_bound";
       if internal < st.best_bound then st.best_bound <- internal
     end
     else begin
@@ -127,6 +138,7 @@ let rec search st depth =
     end
 
 let solve ?(options = default_options) ?warm_start model =
+  Telemetry.span "lp.bb.solve" @@ fun () ->
   let started = now () in
   let dir, _ = Model.objective model in
   let dir_sign = match dir with `Minimize -> 1.0 | `Maximize -> -1.0 in
@@ -192,5 +204,7 @@ let solve ?(options = default_options) ?warm_start model =
         | None, true -> Infeasible
         | None, false -> Unknown
     in
+    Telemetry.count ~by:st.nodes "lp.bb.nodes";
+    (match gap with Some g -> Telemetry.observe "lp.bb.gap" g | None -> ());
     { status; objective; values = st.incumbent; nodes = st.nodes; elapsed; gap }
   end

@@ -94,5 +94,10 @@ let run ?(max_rounds = 10) model =
       Model.iter_constraints model propagate;
       if !changes = before then continue := false
     done;
+    Telemetry.count "lp.presolve.runs";
+    Telemetry.count ~by:!round "lp.presolve.rounds";
+    Telemetry.count ~by:!changes "lp.presolve.tightenings";
     Ok !changes
-  with Infeasible_found -> Proved_infeasible
+  with Infeasible_found ->
+    Telemetry.count "lp.presolve.proved_infeasible";
+    Proved_infeasible

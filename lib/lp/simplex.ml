@@ -15,7 +15,8 @@ type mapping =
 module Make_driver (F : Field.S) = struct
   module T = Tableau.Make (F)
 
-  let solve ?max_iters model =
+  let solve ?max_iters ?deadline model =
+    Telemetry.count "lp.simplex.relaxations";
     let nvars = Model.var_count model in
     let mapping = Array.make nvars (Fixed Q.zero) in
     let ncols = ref 0 in
@@ -114,7 +115,7 @@ module Make_driver (F : Field.S) = struct
         (fun (col, q) -> c.(col) <- F.add c.(col) (F.of_rat (Q.mul obj_sign q)))
         obj_terms;
       ignore struct_cols;
-      match T.solve ?max_iters ~a ~b ~c () with
+      match T.solve ?max_iters ?deadline ~a ~b ~c () with
       | Tableau.Infeasible -> Infeasible
       | Tableau.Unbounded -> Unbounded
       | Tableau.Optimal (value, x) ->
@@ -138,5 +139,8 @@ end
 module Float_driver = Make_driver (Field.Approx)
 module Exact_driver = Make_driver (Field.Exact)
 
-let solve_relaxation_float ?max_iters model = Float_driver.solve ?max_iters model
-let solve_relaxation_exact ?max_iters model = Exact_driver.solve ?max_iters model
+let solve_relaxation_float ?max_iters ?deadline model =
+  Float_driver.solve ?max_iters ?deadline model
+
+let solve_relaxation_exact ?max_iters ?deadline model =
+  Exact_driver.solve ?max_iters ?deadline model

@@ -13,9 +13,13 @@ type 'num outcome =
   | Infeasible
   | Unbounded
 
-val solve_relaxation_float : ?max_iters:int -> Model.t -> float outcome
-(** Floating-point simplex; fast, tolerance [1e-9]. *)
+val solve_relaxation_float :
+  ?max_iters:int -> ?deadline:float -> Model.t -> float outcome
+(** Floating-point simplex; fast, tolerance [1e-9]. [deadline] is an
+    absolute {!Telemetry.Clock} time; when it passes mid-solve
+    {!Tableau.Deadline_exceeded} is raised. *)
 
-val solve_relaxation_exact : ?max_iters:int -> Model.t -> Numeric.Rat.t outcome
+val solve_relaxation_exact :
+  ?max_iters:int -> ?deadline:float -> Model.t -> Numeric.Rat.t outcome
 (** Exact rational simplex; bit-exact but slower. Intended for small models
     and for verifying candidate optima in tests. *)

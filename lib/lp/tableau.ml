@@ -3,6 +3,8 @@ type 'num result =
   | Infeasible
   | Unbounded
 
+exception Deadline_exceeded
+
 module Make (F : Field.S) = struct
   (* Full-tableau two-phase simplex.
      Columns [0 .. n-1] are structural, [n .. n+m-1] artificial. The tableau
@@ -88,10 +90,16 @@ module Make (F : Field.S) = struct
     done;
     if !best < 0 then None else Some !best
 
-  let run_phase tab rhs d obj basis ~limit ~max_iters ~iter_count =
+  let run_phase tab rhs d obj basis ~limit ~max_iters ~iter_count ~deadline
+      ~pivots ~bland_pivots =
     let switch = 3 * (Array.length tab + limit) in
     let rec loop () =
       if !iter_count > max_iters then failwith "Tableau: iteration limit exceeded";
+      (match deadline with
+       | Some t when !iter_count land 15 = 0 && Telemetry.Clock.now_s () > t ->
+         Telemetry.count "lp.simplex.deadline_aborts";
+         raise Deadline_exceeded
+       | Some _ | None -> ());
       incr iter_count;
       let bland = !iter_count > switch in
       match entering d ~limit ~bland with
@@ -101,12 +109,14 @@ module Make (F : Field.S) = struct
         | None -> `Unbounded
         | Some row ->
           pivot tab rhs d obj basis ~row ~col ~ncols:(Array.length d);
+          incr pivots;
+          if bland then incr bland_pivots;
           loop ()
       end
     in
     loop ()
 
-  let solve ?(max_iters = 50_000) ~a ~b ~c () =
+  let solve ?(max_iters = 50_000) ?deadline ~a ~b ~c () =
     let m = Array.length a in
     let n = Array.length c in
     if Array.length b <> m then invalid_arg "Tableau.solve: b length";
@@ -116,6 +126,14 @@ module Make (F : Field.S) = struct
     let tab = Array.init m (fun i -> Array.init ncols (fun j -> if j < n then a.(i).(j) else if j = n + i then F.one else F.zero)) in
     let rhs = Array.copy b in
     let basis = Array.init m (fun i -> n + i) in
+    let pivots = ref 0 and bland_pivots = ref 0 and refactorisations = ref 0 in
+    let flush () =
+      Telemetry.count "lp.simplex.solves";
+      Telemetry.count ~by:!pivots "lp.simplex.pivots";
+      Telemetry.count ~by:!bland_pivots "lp.simplex.bland_pivots";
+      Telemetry.count ~by:!refactorisations "lp.simplex.refactorisations"
+    in
+    Fun.protect ~finally:flush @@ fun () ->
     (* Phase 1: minimise the sum of artificials. Reduced costs for the
        structural columns are -(column sums); objective starts at -(sum b). *)
     let d = Array.make ncols F.zero in
@@ -128,7 +146,10 @@ module Make (F : Field.S) = struct
     done;
     let obj = ref (F.neg (Array.fold_left F.add F.zero rhs)) in
     let iter_count = ref 0 in
-    match run_phase tab rhs d obj basis ~limit:n ~max_iters ~iter_count with
+    match
+      run_phase tab rhs d obj basis ~limit:n ~max_iters ~iter_count ~deadline
+        ~pivots ~bland_pivots
+    with
     | `Unbounded -> failwith "Tableau: phase-1 unbounded (impossible)"
     | `Optimal ->
       if lt !obj F.zero then Infeasible
@@ -141,7 +162,9 @@ module Make (F : Field.S) = struct
           if basis.(i) >= n then begin
             let rec find j = if j >= n then None else if not (F.is_zero tab.(i).(j)) then Some j else find (j + 1) in
             match find 0 with
-            | Some col -> pivot tab rhs d obj basis ~row:i ~col ~ncols
+            | Some col ->
+              pivot tab rhs d obj basis ~row:i ~col ~ncols;
+              incr refactorisations
             | None -> ()
           end
         done;
@@ -162,7 +185,11 @@ module Make (F : Field.S) = struct
         done;
         (* Basic columns must read exactly zero in the cost row. *)
         Array.iter (fun bv -> d.(bv) <- F.zero) basis;
-        match run_phase tab rhs d obj basis ~limit:n ~max_iters ~iter_count with
+        incr refactorisations;
+        match
+          run_phase tab rhs d obj basis ~limit:n ~max_iters ~iter_count ~deadline
+            ~pivots ~bland_pivots
+        with
         | `Unbounded -> Unbounded
         | `Optimal ->
           let x = Array.make n F.zero in

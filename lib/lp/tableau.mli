@@ -12,16 +12,24 @@ type 'num result =
   | Infeasible
   | Unbounded
 
+exception Deadline_exceeded
+(** Raised (from inside the pivot loop) when a [deadline] passes before the
+    solve finishes, so time-limited callers are not at the mercy of one
+    long-running relaxation. *)
+
 module Make (F : Field.S) : sig
   val solve :
     ?max_iters:int ->
+    ?deadline:float ->
     a:F.t array array ->
     b:F.t array ->
     c:F.t array ->
     unit ->
     F.t result
   (** [solve ~a ~b ~c ()] with [a] of shape [m x n], [b] length [m]
-      (all entries [>= 0]), [c] length [n].
+      (all entries [>= 0]), [c] length [n]. [deadline] is an absolute
+      {!Telemetry.Clock} time checked every few pivots.
       @raise Invalid_argument on shape mismatch or negative [b] entries.
-      @raise Failure if [max_iters] (default [50_000]) pivots are exceeded. *)
+      @raise Failure if [max_iters] (default [50_000]) pivots are exceeded.
+      @raise Deadline_exceeded if [deadline] passes mid-solve. *)
 end

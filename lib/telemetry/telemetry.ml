@@ -1,0 +1,414 @@
+module Clock = struct
+  let wall = Unix.gettimeofday
+  let source = ref wall
+  let now_s () = !source ()
+
+  let timed f =
+    let t0 = now_s () in
+    let v = f () in
+    (v, now_s () -. t0)
+
+  let set_source f = source := f
+  let use_wall_clock () = source := wall
+end
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape buf s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s
+
+  (* One fixed float format keeps equal inputs byte-identical across runs;
+     NaN/inf have no JSON encoding, so map them to null. *)
+  let add_float buf f =
+    if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+      Buffer.add_string buf "null"
+    else Buffer.add_string buf (Printf.sprintf "%.6f" f)
+
+  let rec emit buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> add_float buf f
+    | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          emit buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    emit buf t;
+    Buffer.contents buf
+end
+
+type span_record = {
+  span_name : string;
+  start_s : float;
+  duration_s : float;
+  depth : int;
+  tid : int;
+  seq : int;
+  span_attrs : (string * string) list;
+}
+
+type histogram = {
+  samples : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  bounds : float array;
+  bucket_counts : int array;
+}
+
+let default_bounds =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0; 1e3; 1e4; 1e5; 1e6 |]
+
+type hist_state = {
+  mutable h_samples : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_bounds : float array;
+  h_counts : int array;
+}
+
+(* Global collector. The enabled flag is the only state read on the
+   disabled fast path; everything else is touched under [lock]. *)
+let on = Atomic.make false
+let lock = Mutex.create ()
+let completed : span_record list ref = ref []
+let seq_counter = ref 0
+let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let hist_tbl : (string, hist_state) Hashtbl.t = Hashtbl.create 16
+let depth_tbl : (int, int ref) Hashtbl.t = Hashtbl.create 8
+let epoch = ref 0.0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let reset () =
+  locked (fun () ->
+      completed := [];
+      seq_counter := 0;
+      Hashtbl.reset counter_tbl;
+      Hashtbl.reset hist_tbl;
+      Hashtbl.reset depth_tbl;
+      epoch := Clock.now_s ())
+
+let span ?(attrs = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let tid = (Domain.self () :> int) in
+    let depth, seq =
+      locked (fun () ->
+          let d =
+            match Hashtbl.find_opt depth_tbl tid with
+            | Some r -> r
+            | None ->
+              let r = ref 0 in
+              Hashtbl.replace depth_tbl tid r;
+              r
+          in
+          let depth = !d in
+          incr d;
+          let seq = !seq_counter in
+          incr seq_counter;
+          (depth, seq))
+    in
+    let t0 = Clock.now_s () in
+    let finish () =
+      let t1 = Clock.now_s () in
+      locked (fun () ->
+          (match Hashtbl.find_opt depth_tbl tid with
+           | Some d -> decr d
+           | None -> ());
+          completed :=
+            {
+              span_name = name;
+              start_s = t0;
+              duration_s = t1 -. t0;
+              depth;
+              tid;
+              seq;
+              span_attrs = attrs;
+            }
+            :: !completed)
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let count ?(by = 1) name =
+  if Atomic.get on && by <> 0 then
+    locked (fun () ->
+        match Hashtbl.find_opt counter_tbl name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.replace counter_tbl name (ref by))
+
+let observe ?buckets name v =
+  if Atomic.get on then
+    locked (fun () ->
+        let h =
+          match Hashtbl.find_opt hist_tbl name with
+          | Some h -> h
+          | None ->
+            let bounds =
+              match buckets with Some b -> Array.copy b | None -> default_bounds
+            in
+            let h =
+              {
+                h_samples = 0;
+                h_sum = 0.0;
+                h_min = Float.infinity;
+                h_max = Float.neg_infinity;
+                h_bounds = bounds;
+                h_counts = Array.make (Array.length bounds + 1) 0;
+              }
+            in
+            Hashtbl.replace hist_tbl name h;
+            h
+        in
+        h.h_samples <- h.h_samples + 1;
+        h.h_sum <- h.h_sum +. v;
+        if v < h.h_min then h.h_min <- v;
+        if v > h.h_max then h.h_max <- v;
+        let n = Array.length h.h_bounds in
+        let rec slot i = if i >= n || v <= h.h_bounds.(i) then i else slot (i + 1) in
+        let i = slot 0 in
+        h.h_counts.(i) <- h.h_counts.(i) + 1)
+
+let spans () =
+  locked (fun () ->
+      List.sort (fun a b -> compare (a.seq, a.tid) (b.seq, b.tid)) !completed)
+
+let counters () =
+  locked (fun () ->
+      List.sort compare
+        (Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counter_tbl []))
+
+let histograms () =
+  locked (fun () ->
+      List.sort
+        (fun (a, _) (b, _) -> compare a b)
+        (Hashtbl.fold
+           (fun name h acc ->
+             ( name,
+               {
+                 samples = h.h_samples;
+                 sum = h.h_sum;
+                 min_v = h.h_min;
+                 max_v = h.h_max;
+                 bounds = Array.copy h.h_bounds;
+                 bucket_counts = Array.copy h.h_counts;
+               } )
+             :: acc)
+           hist_tbl []))
+
+let counter_value name =
+  locked (fun () ->
+      match Hashtbl.find_opt counter_tbl name with Some r -> !r | None -> 0)
+
+(* ------------------------------------------------------------ exporters *)
+
+module Export = struct
+  (* Spans aggregated by name for the flat report. *)
+  let span_aggregates sps =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt tbl s.span_name with
+        | Some (n, total, mn, mx) ->
+          Hashtbl.replace tbl s.span_name
+            ( n + 1,
+              total +. s.duration_s,
+              Float.min mn s.duration_s,
+              Float.max mx s.duration_s )
+        | None ->
+          Hashtbl.replace tbl s.span_name (1, s.duration_s, s.duration_s, s.duration_s))
+      sps;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+  let chrome_trace ?(process_name = "cohls") () =
+    let t0 = locked (fun () -> !epoch) in
+    let sps = spans () in
+    let us t = (t -. t0) *. 1e6 in
+    let span_event s =
+      let base =
+        [
+          ("name", Json.String s.span_name);
+          ("cat", Json.String "cohls");
+          ("ph", Json.String "X");
+          ("ts", Json.Float (us s.start_s));
+          ("dur", Json.Float (s.duration_s *. 1e6));
+          ("pid", Json.Int 1);
+          ("tid", Json.Int s.tid);
+        ]
+      in
+      let args =
+        ("depth", Json.Int s.depth)
+        :: List.map (fun (k, v) -> (k, Json.String v)) s.span_attrs
+      in
+      Json.Obj (base @ [ ("args", Json.Obj args) ])
+    in
+    let end_ts =
+      List.fold_left
+        (fun acc s -> Float.max acc (us s.start_s +. (s.duration_s *. 1e6)))
+        0.0 sps
+    in
+    let counter_event (name, v) =
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("cat", Json.String "cohls");
+          ("ph", Json.String "C");
+          ("ts", Json.Float end_ts);
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 0);
+          ("args", Json.Obj [ ("value", Json.Int v) ]);
+        ]
+    in
+    let meta =
+      Json.Obj
+        [
+          ("name", Json.String "process_name");
+          ("ph", Json.String "M");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 0);
+          ("args", Json.Obj [ ("name", Json.String process_name) ]);
+        ]
+    in
+    let events =
+      (meta :: List.map span_event sps)
+      @ List.map counter_event (counters ())
+    in
+    Json.to_string
+      (Json.Obj
+         [
+           ("traceEvents", Json.List events);
+           ("displayTimeUnit", Json.String "ms");
+         ])
+
+  let histogram_json (name, h) =
+    let bucket i count =
+      let le =
+        if i < Array.length h.bounds then Json.Float h.bounds.(i)
+        else Json.String "inf"
+      in
+      Json.Obj [ ("le", le); ("count", Json.Int count) ]
+    in
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("count", Json.Int h.samples);
+        ("sum", Json.Float h.sum);
+        ("min", Json.Float (if h.samples = 0 then 0.0 else h.min_v));
+        ("max", Json.Float (if h.samples = 0 then 0.0 else h.max_v));
+        ( "mean",
+          Json.Float (if h.samples = 0 then 0.0 else h.sum /. float_of_int h.samples)
+        );
+        ("buckets", Json.List (List.mapi bucket (Array.to_list h.bucket_counts)));
+      ]
+
+  let stats_json ?(meta = []) () =
+    let span_json (name, (n, total, mn, mx)) =
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("count", Json.Int n);
+          ("total_s", Json.Float total);
+          ("min_s", Json.Float mn);
+          ("max_s", Json.Float mx);
+        ]
+    in
+    let counter_json (name, v) =
+      Json.Obj [ ("name", Json.String name); ("value", Json.Int v) ]
+    in
+    let fields =
+      (if meta = [] then [] else [ ("meta", Json.Obj meta) ])
+      @ [
+          ("spans", Json.List (List.map span_json (span_aggregates (spans ()))));
+          ("counters", Json.List (List.map counter_json (counters ())));
+          ("histograms", Json.List (List.map histogram_json (histograms ())));
+        ]
+    in
+    Json.to_string (Json.Obj fields)
+
+  let stats_table () =
+    let buf = Buffer.create 1024 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+    let aggs = span_aggregates (spans ()) in
+    if aggs <> [] then begin
+      line "%-38s %8s %12s %12s %12s" "span" "count" "total_s" "min_s" "max_s";
+      line "%s" (String.make 86 '-');
+      List.iter
+        (fun (name, (n, total, mn, mx)) ->
+          line "%-38s %8d %12.6f %12.6f %12.6f" name n total mn mx)
+        aggs
+    end;
+    let cs = counters () in
+    if cs <> [] then begin
+      if aggs <> [] then line "";
+      line "%-46s %12s" "counter" "value";
+      line "%s" (String.make 59 '-');
+      List.iter (fun (name, v) -> line "%-46s %12d" name v) cs
+    end;
+    let hs = histograms () in
+    if hs <> [] then begin
+      if aggs <> [] || cs <> [] then line "";
+      line "%-38s %8s %12s %12s %12s" "histogram" "count" "mean" "min" "max";
+      line "%s" (String.make 86 '-');
+      List.iter
+        (fun (name, h) ->
+          let mean = if h.samples = 0 then 0.0 else h.sum /. float_of_int h.samples in
+          line "%-38s %8d %12.4f %12.4f %12.4f" name h.samples mean
+            (if h.samples = 0 then 0.0 else h.min_v)
+            (if h.samples = 0 then 0.0 else h.max_v))
+        hs
+    end;
+    if aggs = [] && cs = [] && hs = [] then
+      Buffer.add_string buf "telemetry: no data recorded (collector disabled?)\n";
+    Buffer.contents buf
+end
+
+let () = epoch := Clock.now_s ()

@@ -1,0 +1,109 @@
+(** In-memory telemetry: hierarchical timed spans, named counters and
+    histograms, with Chrome trace_event and flat-stats exporters.
+
+    The collector is global, thread-safe, and disabled by default: every
+    instrumentation entry point first reads one atomic flag and returns
+    immediately when recording is off, so instrumented hot paths cost a
+    single branch in production runs. *)
+
+(** Time source used by every span and by callers that need wall-clock
+    measurements. Defaults to [Unix.gettimeofday]; tests install a fixed
+    or stepped source to make trace output deterministic. *)
+module Clock : sig
+  val now_s : unit -> float
+  (** Current time in seconds from the active source. *)
+
+  val timed : (unit -> 'a) -> 'a * float
+  (** [timed f] runs [f] and returns its result with the elapsed seconds. *)
+
+  val set_source : (unit -> float) -> unit
+  (** Replace the time source (e.g. with a deterministic counter). *)
+
+  val use_wall_clock : unit -> unit
+  (** Restore the default [Unix.gettimeofday] source. *)
+end
+
+(** Minimal JSON construction with correct string escaping; shared by the
+    exporters and by clients (CLI, bench harness) that assemble their own
+    machine-readable reports around telemetry data. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact single-line rendering; floats use a fixed format so equal
+      inputs always serialise identically. *)
+end
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded data and re-anchor the trace epoch at [Clock.now_s ()].
+    Does not change the enabled flag. *)
+
+type span_record = {
+  span_name : string;
+  start_s : float;
+  duration_s : float;
+  depth : int;  (** nesting depth at start, 0 = top level *)
+  tid : int;  (** domain id the span ran on *)
+  seq : int;  (** start order, ties broken deterministically *)
+  span_attrs : (string * string) list;
+}
+
+type histogram = {
+  samples : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  bounds : float array;  (** upper bounds of the fixed buckets *)
+  bucket_counts : int array;  (** length = [Array.length bounds + 1]; the
+                                  last bucket is the +inf overflow *)
+}
+
+val span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] times [f] as a hierarchical span. Nesting is tracked per
+    domain. The span is recorded even when [f] raises. When the collector
+    is disabled this is exactly [f ()]. *)
+
+val count : ?by:int -> string -> unit
+(** Bump a named monotonic counter (default increment 1). *)
+
+val observe : ?buckets:float array -> string -> float -> unit
+(** Record one sample into a named histogram. [buckets] fixes the bucket
+    upper bounds the first time the name is seen (default: powers of ten
+    from 1e-6 to 1e6); later calls reuse the stored bounds. *)
+
+val spans : unit -> span_record list
+(** Completed spans in deterministic start order. *)
+
+val counters : unit -> (string * int) list
+(** Counters sorted by name. *)
+
+val histograms : unit -> (string * histogram) list
+(** Histograms sorted by name. *)
+
+val counter_value : string -> int
+(** Current value of one counter, 0 when never bumped. *)
+
+module Export : sig
+  val chrome_trace : ?process_name:string -> unit -> string
+  (** Chrome trace_event JSON ({i chrome://tracing} / Perfetto): one
+      complete ("ph":"X") event per span with microsecond timestamps
+      relative to the collector epoch, plus one counter ("ph":"C") event
+      per named counter. *)
+
+  val stats_json : ?meta:(string * Json.t) list -> unit -> string
+  (** Flat report: spans aggregated by name, counters, histograms. *)
+
+  val stats_table : unit -> string
+  (** Human-readable ASCII rendering of the same aggregates. *)
+end
