@@ -4,7 +4,7 @@
 
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe table2     -- one experiment
-     (table2 | table3 | fig4 | fig5 | fig6 | ablation | micro) *)
+     (table2 | table3 | fig4 | fig5 | fig6 | ablation | faults | micro) *)
 
 open Microfluidics
 module Syn = Cohls.Synthesis
@@ -431,6 +431,76 @@ let ablation () =
       | Error e -> Format.fprintf fmt "  oracle error: %s@." e)
     [ 0; 5; 15; 30 ]
 
+(* ---------------------------------------------------------------- faults *)
+
+(* Fault-rate sweep: makespan overhead and recovery cost of fault-tolerant
+   execution vs. the fault-free replay of the same schedule (the protocol
+   of EXPERIMENTS.md). Everything is seeded, so re-runs reproduce the same
+   numbers exactly. *)
+let faults () =
+  section "Fault injection: recovery count, latency, and makespan overhead";
+  let fcases =
+    [
+      ("case2 gene-expr", Assays.Gene_expression.testcase ());
+      ("mda [12]", Assays.Mda.testcase ());
+    ]
+  in
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  List.iter
+    (fun (label, assay) ->
+      let r = Syn.run assay in
+      let oracle = Cohls.Runtime.seeded_oracle ~seed:1 ~max_extra:20 assay in
+      let baseline =
+        match Cohls.Runtime.execute r.Syn.final oracle with
+        | Ok t -> t.Cohls.Runtime.total_minutes
+        | Error e -> failwith ("fault-free replay failed: " ^ e)
+      in
+      Format.fprintf fmt "  %-16s fault-free realised %dm; %d seeds per rate@."
+        label baseline (List.length seeds);
+      List.iter
+        (fun rate ->
+          let completed = ref 0 and failed = ref 0 in
+          let injected = ref 0 and recoveries = ref 0 in
+          let overhead = ref 0.0 and latency = ref 0.0 in
+          List.iter
+            (fun seed ->
+              let plan = Cohls.Faults.seeded ~seed ~rate in
+              match
+                Cohls.Recovery.execute ~allow_new_devices:true ~plan ~oracle
+                  r.Syn.final
+              with
+              | Ok o ->
+                incr completed;
+                injected :=
+                  !injected
+                  + o.Cohls.Recovery.stats.Cohls.Runtime.faults_injected;
+                recoveries := !recoveries + List.length o.Cohls.Recovery.attempts;
+                latency :=
+                  !latency
+                  +. List.fold_left
+                       (fun acc (a : Cohls.Recovery.attempt) ->
+                         acc +. a.Cohls.Recovery.resynth_seconds)
+                       0.0 o.Cohls.Recovery.attempts;
+                overhead :=
+                  !overhead
+                  +. 100.0
+                     *. float_of_int
+                          (o.Cohls.Recovery.trace.Cohls.Runtime.total_minutes
+                          - baseline)
+                     /. float_of_int (max 1 baseline)
+              | Error _ -> incr failed)
+            seeds;
+          Format.fprintf fmt
+            "    rate %.2f: %d/%d completed (%3d faults, %2d recoveries), mean \
+             overhead %+5.1f%%, mean recovery latency %5.1fms, %d failed@."
+            rate !completed (List.length seeds) !injected !recoveries
+            (if !completed > 0 then !overhead /. float_of_int !completed else 0.0)
+            (if !recoveries > 0 then 1000.0 *. !latency /. float_of_int !recoveries
+             else 0.0)
+            !failed)
+        [ 0.0; 0.02; 0.05; 0.1; 0.2 ])
+    fcases
+
 (* ---------------------------------------------------------------- micro *)
 
 let wyndor_solve () =
@@ -597,6 +667,7 @@ let () =
    | "fig5" -> fig5 ()
    | "fig6" -> fig6 ()
    | "ablation" -> ablation ()
+   | "faults" -> faults ()
    | "micro" -> micro ()
    | "all" ->
      table2 ();
@@ -605,10 +676,11 @@ let () =
      fig5 ();
      fig6 ();
      ablation ();
+     faults ();
      micro ()
    | other ->
      Format.fprintf fmt
-       "unknown experiment %s (table2|table3|fig4|fig5|fig6|ablation|micro|all)@."
+       "unknown experiment %s (table2|table3|fig4|fig5|fig6|ablation|faults|micro|all)@."
        other;
      exit 1);
   let wall = Telemetry.Clock.now_s () -. t0 in

@@ -130,6 +130,18 @@ let handle_result = function
   | Ok () -> `Ok ()
   | Error (`Msg m) -> `Error (false, m)
 
+(* List_scheduler.No_device must never escape as a backtrace: every
+   subcommand that synthesises funnels through this guard and exits with a
+   clean diagnostic and nonzero status instead. *)
+let catch_no_device ~devices f =
+  try f () with
+  | Cohls.List_scheduler.No_device op ->
+    Error
+      (`Msg
+         (Printf.sprintf "device cap %d too small (operation %d fits no device)"
+            devices op))
+  | Sys_error e -> Error (`Msg e)
+
 (* ---------- synth ---------- *)
 
 let write_file path content =
@@ -191,10 +203,7 @@ let synth case file rule threshold devices iterations ilp ilp_seconds schedule g
         | Ok () -> Format.printf "schedule validates: OK@."; Ok ()
         | Error e -> Error (`Msg ("internal: schedule invalid: " ^ e)))
      in
-     try with_trace trace run with
-     | Cohls.List_scheduler.No_device op ->
-       Error (`Msg (Printf.sprintf "device cap %d too small (operation %d fits no device)" devices op))
-     | Sys_error e -> Error (`Msg e))
+     catch_no_device ~devices (fun () -> with_trace trace run))
 
 let synth_cmd =
   let info = Cmd.info "synth" ~doc:"Synthesise a hybrid schedule for a bioassay." in
@@ -205,21 +214,59 @@ let synth_cmd =
          $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ schedule_arg $ gantt_arg
          $ control_arg $ physical_arg $ dot_arg $ csv_arg $ trace_arg))
 
+(* ---------- fault-injection options (stats, simulate) ---------- *)
+
+let fault_seed_arg =
+  let doc = "Fault-plan seed (deterministic per (seed, device, layer))." in
+  Arg.(value & opt int 1 & info [ "faults" ] ~docv:"SEED" ~doc)
+
+let fault_rate_arg =
+  let doc = "Per-(device, layer-boundary) fault probability in [0, 1]." in
+  Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"P" ~doc)
+
+let allow_new_devices_arg =
+  let doc =
+    "Let recovery integrate fresh devices (beyond re-binding the surviving \
+     chip) up to the device cap."
+  in
+  Arg.(value & flag & info [ "allow-new-devices" ] ~doc)
+
+let fault_plan ~fault_seed ~fault_rate =
+  if fault_rate < 0.0 || fault_rate > 1.0 then
+    Error (`Msg "fault rate must be in [0, 1]")
+  else Ok (Cohls.Faults.seeded ~seed:fault_seed ~rate:fault_rate)
+
 (* ---------- stats ---------- *)
 
 let stats_json_arg =
   let doc = "Write the solver-statistics report as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let stats case file rule threshold devices iterations ilp ilp_seconds json trace =
+let stats case file rule threshold devices iterations ilp ilp_seconds json trace
+    fault_seed fault_rate =
   handle_result
     (let ( let* ) = Result.bind in
      let* assay = assay_of ~case ~file in
+     let* plan = fault_plan ~fault_seed ~fault_rate in
      let config = config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds in
-     try
+     catch_no_device ~devices (fun () ->
+       let ( let* ) = Result.bind in
        Telemetry.enable ();
        Telemetry.reset ();
        let r = Syn.run ~config assay in
+       (* with --fault-rate > 0 also exercise the fault-tolerant executor so
+          the faults.* / recovery.* counters appear in the report *)
+       let* () =
+         if fault_rate > 0.0 then begin
+           let oracle = Cohls.Runtime.seeded_oracle ~seed:1 ~max_extra:20 assay in
+           match Cohls.Recovery.execute ~config ~plan ~oracle r.Syn.final with
+           | Ok _ -> Ok ()
+           | Error e ->
+             Format.printf "%a@." Cohls.Recovery.pp_error e;
+             Ok ()
+         end
+         else Ok ()
+       in
        (match trace with
         | Some path ->
           write_file path (Telemetry.Export.chrome_trace ());
@@ -241,11 +288,7 @@ let stats case file rule threshold devices iterations ilp ilp_seconds json trace
           Format.printf "wrote %s@." path
         | None -> ());
        Telemetry.disable ();
-       Ok ()
-     with
-     | Cohls.List_scheduler.No_device op ->
-       Error (`Msg (Printf.sprintf "device cap %d too small (operation %d fits no device)" devices op))
-     | Sys_error e -> Error (`Msg e))
+       Ok ()))
 
 let stats_cmd =
   let info =
@@ -253,13 +296,15 @@ let stats_cmd =
       ~doc:
         "Synthesise with the telemetry collector enabled and report solver \
          counters (simplex pivots, branch-and-bound nodes, layering \
-         evictions, re-synthesis passes) as a table or JSON."
+         evictions, re-synthesis passes, fault injection and recovery) as a \
+         table or JSON."
   in
   Cmd.v info
     Term.(
       ret
         (const stats $ case_arg $ file_arg $ rule_arg $ threshold_arg $ devices_arg
-         $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ stats_json_arg $ trace_arg))
+         $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ stats_json_arg $ trace_arg
+         $ fault_seed_arg $ fault_rate_arg))
 
 (* ---------- layering ---------- *)
 
@@ -300,22 +345,131 @@ let execute case seed max_extra =
   handle_result
     (let ( let* ) = Result.bind in
      let* assay = assay_of_case case in
-     let r = Syn.run assay in
-     let oracle = Cohls.Runtime.seeded_oracle ~seed ~max_extra assay in
-     match Cohls.Runtime.execute r.Syn.final oracle with
-     | Ok trace ->
-       Format.printf "fixed part: %dm, realised total: %dm@."
-         (Cohls.Schedule.total_fixed_minutes r.Syn.final)
-         trace.Cohls.Runtime.total_minutes;
-       List.iter
-         (fun (layer, wait) -> Format.printf "  layer %d waited %dm for indeterminate ops@." layer wait)
-         trace.Cohls.Runtime.waits;
-       Ok ()
-     | Error e -> Error (`Msg e))
+     catch_no_device ~devices:Syn.default_config.Syn.max_devices (fun () ->
+       let r = Syn.run assay in
+       let oracle = Cohls.Runtime.seeded_oracle ~seed ~max_extra assay in
+       match Cohls.Runtime.execute r.Syn.final oracle with
+       | Ok trace ->
+         Format.printf "fixed part: %dm, realised total: %dm@."
+           (Cohls.Schedule.total_fixed_minutes r.Syn.final)
+           trace.Cohls.Runtime.total_minutes;
+         List.iter
+           (fun (layer, wait) -> Format.printf "  layer %d waited %dm for indeterminate ops@." layer wait)
+           trace.Cohls.Runtime.waits;
+         Ok ()
+       | Error e -> Error (`Msg e)))
 
 let execute_cmd =
   let info = Cmd.info "execute" ~doc:"Replay a hybrid schedule under an indeterminacy oracle." in
   Cmd.v info Term.(ret (const execute $ case_arg $ seed_arg $ max_extra_arg))
+
+(* ---------- simulate ---------- *)
+
+let print_outcome ~baseline (o : Cohls.Recovery.outcome) =
+  let s = o.Cohls.Recovery.stats in
+  Format.printf
+    "faults: %d injected, %d transient retries paid, %d escalated@."
+    s.Cohls.Runtime.faults_injected s.Cohls.Runtime.transient_retries
+    s.Cohls.Runtime.transients_escalated;
+  List.iteri
+    (fun i (a : Cohls.Recovery.attempt) ->
+      Format.printf
+        "recovery %d: boundary %d, device %d dead%s; re-synthesised %d ops into \
+         %d layers on %d survivors (+%d fresh) in %.3fs%s@."
+        (i + 1) a.Cohls.Recovery.at_global_layer a.Cohls.Recovery.dead_device
+        (if a.Cohls.Recovery.escalated then " (escalated transient)" else "")
+        a.Cohls.Recovery.suffix_ops a.Cohls.Recovery.resynth_layers
+        a.Cohls.Recovery.surviving_devices a.Cohls.Recovery.fresh_devices
+        a.Cohls.Recovery.resynth_seconds
+        (if a.Cohls.Recovery.degraded_to_heuristic then " [degraded to heuristic]"
+         else ""))
+    o.Cohls.Recovery.attempts;
+  let total = o.Cohls.Recovery.trace.Cohls.Runtime.total_minutes in
+  Format.printf "realised total: %dm (fault-free %dm, overhead %+.1f%%)@." total
+    baseline
+    (100.0 *. float_of_int (total - baseline) /. float_of_int (max 1 baseline));
+  List.iteri
+    (fun i s ->
+      match Cohls.Schedule.validate s with
+      | Ok () -> Format.printf "recovered schedule %d validates: OK@." (i + 1)
+      | Error e -> Format.printf "recovered schedule %d INVALID: %s@." (i + 1) e)
+    o.Cohls.Recovery.recovered_schedules
+
+let simulate case file rule threshold devices iterations ilp ilp_seconds seed
+    max_extra fault_seed fault_rate allow_new_devices show_stats =
+  handle_result
+    (let ( let* ) = Result.bind in
+     let* assay = assay_of ~case ~file in
+     let* plan = fault_plan ~fault_seed ~fault_rate in
+     let config = config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds in
+     catch_no_device ~devices (fun () ->
+       if show_stats then begin
+         Telemetry.enable ();
+         Telemetry.reset ()
+       end;
+       let r = Syn.run ~config assay in
+       let oracle = Cohls.Runtime.seeded_oracle ~seed ~max_extra assay in
+       let baseline =
+         match Cohls.Runtime.execute r.Syn.final oracle with
+         | Ok t -> t.Cohls.Runtime.total_minutes
+         | Error e -> failwith ("fault-free replay failed: " ^ e)
+       in
+       Format.printf "%s: %d layers, fixed part %dm, fault-free realised %dm@."
+         (Microfluidics.Assay.name assay)
+         (Array.length r.Syn.final.Cohls.Schedule.layers)
+         (Cohls.Schedule.total_fixed_minutes r.Syn.final)
+         baseline;
+       Format.printf "plan: %s@." (Cohls.Faults.describe plan);
+       let result =
+         match
+           Cohls.Recovery.execute ~config ~allow_new_devices ~plan ~oracle
+             r.Syn.final
+         with
+         | Ok outcome ->
+           print_outcome ~baseline outcome;
+           let invalid =
+             List.exists
+               (fun s -> Result.is_error (Cohls.Schedule.validate s))
+               outcome.Cohls.Recovery.recovered_schedules
+           in
+           if invalid then Error (`Msg "a recovered schedule failed validation")
+           else Ok ()
+         | Error e -> Error (`Msg (Format.asprintf "%a" Cohls.Recovery.pp_error e))
+       in
+       if show_stats then begin
+         Format.printf "@.";
+         print_string (Telemetry.Export.stats_table ());
+         Telemetry.disable ()
+       end;
+       result))
+
+let sim_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Indeterminacy-oracle seed.")
+
+let sim_rate_arg =
+  let doc = "Per-(device, layer-boundary) fault probability in [0, 1]." in
+  Arg.(value & opt float 0.1 & info [ "fault-rate" ] ~docv:"P" ~doc)
+
+let sim_stats_arg =
+  let doc = "Print the telemetry counter table (fault/recovery counters) after the run." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let simulate_cmd =
+  let info =
+    Cmd.info "simulate"
+      ~doc:
+        "Execute a hybrid schedule under seeded device-fault injection: \
+         transient faults are retried with capped backoff at the layer \
+         boundary; a permanent fault triggers layer-boundary recovery, \
+         re-synthesising the unexecuted suffix on the surviving devices."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const simulate $ case_arg $ file_arg $ rule_arg $ threshold_arg
+         $ devices_arg $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ sim_seed_arg
+         $ max_extra_arg $ fault_seed_arg $ sim_rate_arg $ allow_new_devices_arg
+         $ sim_stats_arg))
 
 (* ---------- compare ---------- *)
 
@@ -324,6 +478,7 @@ let compare_run case threshold devices =
     (let ( let* ) = Result.bind in
      let* assay = assay_of_case case in
      let base = { Syn.default_config with Syn.threshold; max_devices = devices } in
+     catch_no_device ~devices (fun () ->
      let ours = Syn.run ~config:base assay in
      let conv = Cohls.Baseline.run ~config:base assay in
      let row =
@@ -339,7 +494,7 @@ let compare_run case threshold devices =
      Format.printf "@.";
      Cohls.Report.table3 Format.std_formatter [ (case, ours) ];
      Format.printf "@.";
-     Ok ())
+     Ok ()))
 
 let compare_cmd =
   let info = Cmd.info "compare" ~doc:"Compare our method against the conventional baseline (Table 2/3 style)." in
@@ -348,6 +503,7 @@ let compare_cmd =
 let main_cmd =
   let doc = "Component-oriented high-level synthesis for continuous-flow microfluidics (DAC'17 reproduction)." in
   let info = Cmd.info "cohls" ~version:"1.0.0" ~doc in
-  Cmd.group info [ synth_cmd; stats_cmd; layering_cmd; execute_cmd; compare_cmd ]
+  Cmd.group info
+    [ synth_cmd; stats_cmd; layering_cmd; execute_cmd; simulate_cmd; compare_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,47 @@
+type kind =
+  | Permanent
+  | Transient of { retries_needed : int }
+
+type plan =
+  | None_
+  | Seeded of { seed : int; rate : float }
+
+let none = None_
+
+let seeded ~seed ~rate =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg "Faults.seeded: rate must be in [0, 1]";
+  Seeded { seed; rate }
+
+(* splitmix-style hash of (seed, device, layer); same family as
+   Runtime.seeded_oracle so fault plans are reproducible with no global
+   state *)
+let hash ~seed ~device ~layer ~salt =
+  let h = ref (seed * 0x9E3779B1 + (device * 0x85EBCA77) + (layer * 0xC2B2AE3D) + (salt * 0x27D4EB2F)) in
+  h := !h lxor (!h lsr 13);
+  h := !h * 0xC2B2AE35;
+  h := !h lxor (!h lsr 16);
+  abs !h
+
+let uniform ~seed ~device ~layer ~salt =
+  float_of_int (hash ~seed ~device ~layer ~salt mod 1_000_000) /. 1_000_000.0
+
+let probe plan ~device ~layer =
+  match plan with
+  | None_ -> None
+  | Seeded { seed; rate } ->
+    if uniform ~seed ~device ~layer ~salt:0 < rate then begin
+      (* a second independent draw decides the failure mode, a third the
+         retry depth of a transient fault *)
+      if uniform ~seed ~device ~layer ~salt:1 < 0.5 then Some Permanent
+      else
+        Some (Transient { retries_needed = 1 + (hash ~seed ~device ~layer ~salt:2 mod 4) })
+    end
+    else None
+
+let rate = function None_ -> 0.0 | Seeded { rate; _ } -> rate
+
+let describe = function
+  | None_ -> "no fault injection"
+  | Seeded { seed; rate } ->
+    Printf.sprintf "seeded fault plan (seed %d, rate %.2f)" seed rate

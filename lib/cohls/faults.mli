@@ -1,0 +1,50 @@
+(** Device-fault models for fault-tolerant execution.
+
+    The paper's hybrid schedules exist so a cyber-physical controller can
+    intervene at layer boundaries; the dominant field intervention is a
+    device fault (a failed pump, a stuck valve, a dead heating pad — see
+    the FPVA-testing line of work in PAPERS.md). A {e fault plan} decides,
+    deterministically per [(seed, device, layer)], whether a device fails
+    when the executor reaches a layer boundary, and how:
+
+    - {e permanent}: the device is dead for the rest of the assay; the
+      executor must hand the unexecuted suffix to {!Recovery};
+    - {e transient}: an accessory glitch that clears after a bounded number
+      of retries at the boundary (the executor pays backoff minutes and
+      continues, or escalates to permanent when its retry cap is smaller).
+
+    Plans are pure values: probing is side-effect free and reproducible, in
+    the style of {!Runtime.seeded_oracle}, so a replay of the same seed
+    yields the same faults — including inside recovery, where a re-bound
+    surviving device keeps its fault destiny for later layers. *)
+
+type kind =
+  | Permanent
+  | Transient of { retries_needed : int }
+      (** the fault clears on the [retries_needed]-th retry (>= 1) *)
+
+type plan
+
+val none : plan
+(** Never injects a fault. [probe none] is always [None]; executing under
+    [none] reproduces the fault-free trace exactly. *)
+
+val seeded : seed:int -> rate:float -> plan
+(** A device fails at a layer boundary with probability [rate], decided by
+    a splitmix-style hash of [(seed, device, layer)]. Injected faults are
+    split roughly evenly between permanent and transient; transient faults
+    need 1–4 retries to clear.
+    @raise Invalid_argument unless [0.0 <= rate <= 1.0]. *)
+
+val probe : plan -> device:int -> layer:int -> kind option
+(** Does [device] fault at the boundary opening global layer [layer]?
+    Deterministic: probing the same plan twice gives the same answer and
+    records nothing. [layer] is the {e global} execution-step index
+    (boundaries crossed since assay start), not an index into any one
+    schedule, so recovered suffix schedules probe consistently. *)
+
+val rate : plan -> float
+(** The configured fault probability ([0.0] for {!none}). *)
+
+val describe : plan -> string
+(** One-line human-readable form, e.g. ["seeded fault plan (seed 7, rate 0.10)"]. *)

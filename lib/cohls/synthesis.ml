@@ -168,7 +168,7 @@ let run_pass cfg assay layering transport ~pool ~penalty ~fresh_id =
   in
   (schedule, created_by_layer)
 
-let run ?(config = default_config) assay =
+let run_with_pool ?(config = default_config) ?(first_fresh_id = 0) ~pool assay =
   Telemetry.span "synthesis.run" ~attrs:[ ("assay", Assay.name assay) ]
   @@ fun () ->
   let started = Telemetry.Clock.now_s () in
@@ -176,7 +176,14 @@ let run ?(config = default_config) assay =
    | Ok () -> ()
    | Error msg -> invalid_arg ("Synthesis.run: " ^ msg));
   let layering = Layering.compute ~threshold:config.threshold assay in
-  let next_id = ref 0 in
+  (* fresh ids must not collide with inherited pool devices (nor with ids
+     the caller has retired, e.g. recovery's dead devices) *)
+  let next_id =
+    ref
+      (List.fold_left
+         (fun acc (d : Device.t) -> max acc (d.Device.id + 1))
+         first_fresh_id pool)
+  in
   let fresh_id () =
     let id = !next_id in
     incr next_id;
@@ -189,7 +196,7 @@ let run ?(config = default_config) assay =
   let transport0 = Transport.constant ~op_count config.initial_transport in
   let schedule0, created0 =
     Telemetry.span "synthesis.pass" ~attrs:[ ("pass", "0") ] (fun () ->
-        run_pass config assay layering transport0 ~pool:[]
+        run_pass config assay layering transport0 ~pool
           ~penalty:(fun _ _ -> 0)
           ~fresh_id)
   in
@@ -279,6 +286,8 @@ let run ?(config = default_config) assay =
     final_breakdown = final_iteration.breakdown;
     runtime_seconds = Telemetry.Clock.now_s () -. started;
   }
+
+let run ?config assay = run_with_pool ?config ~pool:[] assay
 
 let improvement_history result =
   let rec pairs k = function

@@ -62,6 +62,18 @@ val run : ?config:config -> Assay.t -> result
     the assay.
     @raise Invalid_argument on an invalid assay. *)
 
+val run_with_pool :
+  ?config:config -> ?first_fresh_id:int -> pool:Device.t list -> Assay.t -> result
+(** Like {!run}, but every layer of the first pass may bind to the [pool]
+    devices at no integration cost — they are already on the chip. Used by
+    {!Recovery} to re-bind the surviving devices of a partially-executed
+    assay; the pool counts against [max_devices], and freshly-created
+    device ids start at [max (first_fresh_id, 1 + max pool id)] (default
+    [first_fresh_id = 0]) so they never collide with pool ids nor with ids
+    the caller has retired. [run] is [run_with_pool ~pool:[]].
+    @raise List_scheduler.No_device when pool plus cap cannot accommodate
+    the assay. *)
+
 val improvement_history : result -> (int * float) list
 (** Per iteration (>= 1): relative execution-time improvement over the
     previous one — the numbers of the paper's Table 3. *)
