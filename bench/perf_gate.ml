@@ -1,0 +1,238 @@
+(* CI perf gate over `bench/main.exe table2 --json` artifacts.
+
+     perf_gate BASELINE.json CURRENT.json
+
+   Compares the current run against the checked-in baseline and exits
+   nonzero on regression. The rules, and why each is machine-independent:
+
+   - per table-2 case, `ours.fixed_minutes` and `ours.weighted` must not
+     exceed the baseline's: the heuristic path is deterministic, so any
+     increase is a real quality regression (no tolerance; improvements
+     pass, and should prompt a baseline refresh);
+   - `lp.simplex.deadline_aborts` must not exceed the baseline's (0): an
+     abort means a single LP relaxation outlived the whole per-layer
+     budget, which only a pathological solver produces, however slow the
+     machine — routine budget exhaustion stops between relaxations and is
+     not counted;
+   - the ILP leg's `weighted` must not exceed the baseline *heuristic*
+     weighted for the same case: the branch-and-bound incumbent depends on
+     how many nodes fit the time budget, so comparing ILP-to-ILP across
+     machines would be flaky, but the layer solver only ever accepts
+     strict improvements over the heuristic, so "no worse than the
+     deterministic heuristic" holds on any machine;
+   - presolve must have fired: `lp.presolve.rows_removed` and
+     `lp.presolve.cols_fixed` nonzero in the current telemetry;
+   - wall-clock fields are ignored entirely.
+
+   The baseline is regenerated with:
+     dune exec bench/main.exe -- table2 --json bench/baseline.json
+
+   Telemetry.Json is a serialiser only, so this file carries its own
+   minimal JSON reader (objects, arrays, strings, numbers, true/false/null;
+   enough for the bench artifact — not a general-purpose parser). *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents buf
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'u' ->
+           (* artifact strings are ASCII; decode the escape to '?' rather
+              than carrying a UTF-16 decoder *)
+           for _ = 1 to 4 do advance () done;
+           Buffer.add_char buf '?'
+         | _ -> fail "bad escape");
+        advance ();
+        go ()
+      | '\255' -> fail "unterminated string"
+      | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while numchar (peek ()) do advance () done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (advance (); Obj [])
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ((key, v) :: acc)
+          | '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (advance (); Arr [])
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elements (v :: acc)
+          | ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------- artifact accessors *)
+
+let member key = function
+  | Obj fields -> (try List.assoc key fields with Not_found -> Null)
+  | _ -> Null
+
+let as_int = function Num f -> int_of_float f | _ -> 0
+let as_str = function Str s -> s | _ -> ""
+let as_list = function Arr l -> l | _ -> []
+
+let cases doc =
+  List.map (fun c -> (as_str (member "label" c), c)) (as_list (member "cases" doc))
+
+let counter doc name =
+  let rec find = function
+    | [] -> 0
+    | c :: rest -> if as_str (member "name" c) = name then as_int (member "value" c) else find rest
+  in
+  find (as_list (member "counters" (member "telemetry" doc)))
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  match parse content with
+  | v -> v
+  | exception Parse_error msg ->
+    Printf.eprintf "perf_gate: %s: %s\n" path msg;
+    exit 2
+
+(* ------------------------------------------------------------- checks *)
+
+let failures = ref 0
+
+let check ok fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if ok then Printf.printf "ok    %s\n" msg
+      else begin
+        incr failures;
+        Printf.printf "FAIL  %s\n" msg
+      end)
+    fmt
+
+let () =
+  let baseline_path, current_path =
+    match Sys.argv with
+    | [| _; b; c |] -> (b, c)
+    | _ ->
+      prerr_endline "usage: perf_gate BASELINE.json CURRENT.json";
+      exit 2
+  in
+  let baseline = load baseline_path in
+  let current = load current_path in
+  let cur_cases = cases current in
+  List.iter
+    (fun (label, base_case) ->
+      match List.assoc_opt label cur_cases with
+      | None -> check false "case %S present" label
+      | Some cur_case ->
+        let metric name =
+          ( as_int (member name (member "ours" cur_case)),
+            as_int (member name (member "ours" base_case)) )
+        in
+        let cur_mk, base_mk = metric "fixed_minutes" in
+        let cur_w, base_w = metric "weighted" in
+        check (cur_mk <= base_mk) "%S makespan %dm <= baseline %dm" label cur_mk base_mk;
+        check (cur_w <= base_w) "%S weighted %d <= baseline %d" label cur_w base_w)
+    (cases baseline);
+  let cur_aborts = counter current "lp.simplex.deadline_aborts" in
+  let base_aborts = counter baseline "lp.simplex.deadline_aborts" in
+  check (cur_aborts <= base_aborts) "deadline aborts %d <= baseline %d" cur_aborts
+    base_aborts;
+  (match (member "ilp" current, cases baseline) with
+   | Null, _ -> check false "ILP leg present in current artifact"
+   | ilp, (_, first_base) :: _ ->
+     let w = as_int (member "weighted" ilp) in
+     let heur_w = as_int (member "weighted" (member "ours" first_base)) in
+     check (w > 0 && w <= heur_w) "ILP weighted %d <= baseline heuristic %d" w heur_w
+   | _, [] -> check false "baseline has cases");
+  let rows_removed = counter current "lp.presolve.rows_removed" in
+  let cols_fixed = counter current "lp.presolve.cols_fixed" in
+  check (rows_removed > 0) "presolve removed rows (%d)" rows_removed;
+  check (cols_fixed > 0) "presolve fixed columns (%d)" cols_fixed;
+  if !failures > 0 then begin
+    Printf.printf "\nperf gate: %d check(s) failed\n" !failures;
+    exit 1
+  end;
+  print_endline "\nperf gate: all checks passed"

@@ -144,10 +144,7 @@ let catch_no_device ~devices f =
 
 (* ---------- synth ---------- *)
 
-let write_file path content =
-  let oc = open_out path in
-  output_string oc content;
-  close_out oc
+let write_file path content = Telemetry.Export.write_atomic path content
 
 (* Enable the collector for the duration of [f] when a trace file was
    requested, then dump the Chrome trace. *)

@@ -67,7 +67,7 @@ let slot_compatible spec v = function
 
 let path_key a b = (min a b, max a b)
 
-let build spec =
+let build ?(prune = true) spec =
   let lp = M.create ~name:(Printf.sprintf "layer%d" spec.layer.Layering.index) () in
   let layer_ops = Array.of_list spec.layer.Layering.ops in
   let n_ops = Array.length layer_ops in
@@ -79,11 +79,52 @@ let build spec =
   let free_vars = Hashtbl.create 8 in
   let path_var = Hashtbl.create 16 in
   let conflict_aux = Hashtbl.create 32 in
-  let qh = Q.of_int horizon in
+  let in_layer v = spec.layer_of_op.(v) = spec.layer.Layering.index in
+  (* ASAP / ALAP start windows from the in-layer dependency DAG. [asap v] is
+     the longest predecessor chain into v; [tail v] is the longest chain
+     from v (v's own duration included). Both are implied by the dependency
+     constraints together with s >= 0 and the makespan's upper bound, so
+     installing them as variable bounds never changes the optimum — it only
+     shrinks the search box and, downstream, every big-M derived from it. *)
+  let asap_tbl = Hashtbl.create 16 and tail_tbl = Hashtbl.create 16 in
+  let rec asap v =
+    match Hashtbl.find_opt asap_tbl v with
+    | Some x -> x
+    | None ->
+      let x =
+        List.fold_left
+          (fun acc u -> if in_layer u then max acc (asap u + dur_t spec u) else acc)
+          0 (G.pred spec.graph v)
+      in
+      Hashtbl.replace asap_tbl v x;
+      x
+  in
+  let rec tail v =
+    match Hashtbl.find_opt tail_tbl v with
+    | Some x -> x
+    | None ->
+      let x =
+        dur_t spec v
+        + List.fold_left
+            (fun acc w -> if in_layer w then max acc (tail w) else acc)
+            0 (G.succ spec.graph v)
+      in
+      Hashtbl.replace tail_tbl v x;
+      x
+  in
+  (* Start windows: s_v ranges over [lb_start v, ub_start v]. The upper
+     bound comes from s_v + tail v <= makespan <= horizon + max_dt. *)
+  let lb_start v = if prune then asap v else 0 in
+  let ub_start v = if prune then min horizon (horizon + max_dt - tail v) else horizon in
   (* start variables *)
   Array.iter
     (fun v ->
-      let s = M.add_var lp ~ub:qh ~kind:M.Integer (Printf.sprintf "s_%d" v) in
+      let s =
+        M.add_var lp
+          ~lb:(Q.of_int (lb_start v))
+          ~ub:(Q.of_int (ub_start v))
+          ~kind:M.Integer (Printf.sprintf "s_%d" v)
+      in
       Hashtbl.replace start_var v s)
     layer_ops;
   let makespan_var =
@@ -128,21 +169,65 @@ let build spec =
           acc;
         Hashtbl.replace free_vars j { used; config; acc })
     spec.slots;
+  (* Free slots are interchangeable (same configuration choices, same
+     costs, and all slot ids are fresh so path costs are permutation
+     invariant), so any solution can be rearranged until the k-th used free
+     slot hosts, as its earliest op in layer order, an op of layer position
+     >= k. Hence op number i never needs a free slot beyond ordinal i, and
+     the used flags can be forced monotone — both cut the symmetric copies
+     of every solution without touching the optimal value. *)
+  let pos_of = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace pos_of v i) layer_ops;
+  let free_ord = Array.make (Array.length spec.slots) (-1) in
+  let n_free = ref 0 in
+  Array.iteri
+    (fun j slot ->
+      match slot with
+      | Free _ ->
+        free_ord.(j) <- !n_free;
+        incr n_free
+      | Fixed _ -> ())
+    spec.slots;
+  let binds_pruned = ref 0 in
   (* binding variables, one per compatible (op, slot) pair *)
   Array.iter
     (fun v ->
       let any = ref false in
       Array.iteri
         (fun j slot ->
-          if slot_compatible spec v slot then begin
-            any := true;
-            let b = M.add_var lp ~kind:M.Binary (Printf.sprintf "b_%d_%d" v j) in
-            Hashtbl.replace bind_var (v, j) b
-          end)
+          if slot_compatible spec v slot then
+            if
+              prune && free_ord.(j) >= 0
+              && free_ord.(j) > Hashtbl.find pos_of v
+            then incr binds_pruned
+            else begin
+              any := true;
+              let b = M.add_var lp ~kind:M.Binary (Printf.sprintf "b_%d_%d" v j) in
+              Hashtbl.replace bind_var (v, j) b
+            end)
         spec.slots;
       if not !any then
         invalid_arg (Printf.sprintf "Ilp_model.build: op %d fits no slot" v))
     layer_ops;
+  Telemetry.count ~by:!binds_pruned "ilp.model.binds_pruned";
+  (* symmetry breaking: free slots are used in ordinal order *)
+  if prune then begin
+    let prev = ref None in
+    Array.iteri
+      (fun j slot ->
+        match slot with
+        | Fixed _ -> ()
+        | Free _ ->
+          let used = (Hashtbl.find free_vars j).used in
+          (match !prev with
+           | Some prev_used ->
+             M.add_constr lp
+               ~name:(Printf.sprintf "symm_%d" j)
+               (E.var used) M.Le (E.var prev_used)
+           | None -> ());
+          prev := Some used)
+      spec.slots
+  end;
   let bvar v j = Hashtbl.find_opt bind_var (v, j) in
   (* (5): every operation bound exactly once *)
   Array.iter
@@ -221,7 +306,6 @@ let build spec =
         spec.slots)
     layer_ops;
   let svar v = Hashtbl.find start_var v in
-  let in_layer v = spec.layer_of_op.(v) = spec.layer.Layering.index in
   (* (9): dependencies inside the layer *)
   Array.iter
     (fun u ->
@@ -251,20 +335,36 @@ let build spec =
     |> List.filter_map Fun.id
   in
   let is_indet v = Operation.is_indeterminate spec.ops.(v) in
+  (* [x] provably finishes before [y] can start, from the start windows. *)
+  let always_before x y = prune && ub_start x + dur_t spec x <= lb_start y in
+  (* The tightest big-M that still deactivates [s_x + dur_x <= s_y + M q]:
+     the worst violation is ub_x + dur_x - lb_y. Presolve would rediscover
+     it, but emitting it directly keeps even the first relaxation tight. *)
+  let pair_m x y =
+    if prune then max 1 (ub_start x + dur_t spec x - lb_start y) else big_m
+  in
+  let pairs_skipped = ref 0 in
+  let distinct_device ~tag a b shared =
+    List.iteri
+      (fun k (ba, bb) ->
+        M.add_constr lp
+          ~name:(Printf.sprintf "%s_%d_%d_%d" tag a b k)
+          (E.add (E.var ba) (E.var bb))
+          M.Le (E.of_int 1))
+      shared
+  in
   let add_pair a b =
     let shared = shared_slots a b in
     match (is_indet a, is_indet b) with
     | true, true ->
       (* indeterminate operations execute in parallel on distinct devices *)
-      List.iteri
-        (fun k (ba, bb) ->
-          M.add_constr lp
-            ~name:(Printf.sprintf "ind2_%d_%d_%d" a b k)
-            (E.add (E.var ba) (E.var bb))
-            M.Le (E.of_int 1))
-        shared
+      distinct_device ~tag:"ind2" a b shared
     | false, false ->
-      if shared <> [] then begin
+      (* When the windows already order the pair, the disjunction is
+         resolved for free: the forced ordering satisfies (10)/(11) with
+         q0 = 1, q1 = 0 (or symmetrically) for every point in the box, and
+         (13) then never binds — so the pair needs no variables at all. *)
+      if shared <> [] && not (always_before a b || always_before b a) then begin
         let q0 = M.add_var lp ~kind:M.Binary (Printf.sprintf "q0_%d_%d" a b) in
         let q1 = M.add_var lp ~kind:M.Binary (Printf.sprintf "q1_%d_%d" a b) in
         let q2 = M.add_var lp ~kind:M.Binary (Printf.sprintf "q2_%d_%d" a b) in
@@ -272,7 +372,7 @@ let build spec =
         (* (10): q0 = 0 -> a starts after b finishes *)
         M.add_constr lp
           ~name:(Printf.sprintf "c10_%d_%d" a b)
-          (E.add (E.var (svar a)) (E.iterm big_m q0))
+          (E.add (E.var (svar a)) (E.iterm (pair_m b a) q0))
           M.Ge
           (E.add (E.var (svar b)) (E.of_int (dur_t spec b)));
         (* (11): q1 = 0 -> a finishes before b starts *)
@@ -280,7 +380,7 @@ let build spec =
           ~name:(Printf.sprintf "c11_%d_%d" a b)
           (E.add (E.var (svar a)) (E.of_int (dur_t spec a)))
           M.Le
-          (E.add (E.var (svar b)) (E.iterm big_m q1));
+          (E.add (E.var (svar b)) (E.iterm (pair_m a b) q1));
         (* (12): q2 = 0 -> never on the same device *)
         List.iteri
           (fun k (ba, bb) ->
@@ -295,32 +395,40 @@ let build spec =
           (E.sum [ E.var q0; E.var q1; E.var q2 ])
           M.Le (E.of_int 2)
       end
+      else if shared <> [] then incr pairs_skipped
     | true, false | false, true ->
       (* one indeterminate: the determinate op must fully precede it when
          they share a device (an indeterminate op is last on its device) *)
       let det, ind = if is_indet a then (b, a) else (a, b) in
-      if shared <> [] then begin
-        let q1 = M.add_var lp ~kind:M.Binary (Printf.sprintf "qi1_%d_%d" det ind) in
-        let q2 = M.add_var lp ~kind:M.Binary (Printf.sprintf "qi2_%d_%d" det ind) in
-        Hashtbl.replace conflict_aux (a, b) [ q1; q2 ];
-        M.add_constr lp
-          ~name:(Printf.sprintf "ci1_%d_%d" det ind)
-          (E.add (E.var (svar det)) (E.of_int (dur_t spec det)))
-          M.Le
-          (E.add (E.var (svar ind)) (E.iterm big_m q1));
-        let shared_di = shared_slots det ind in
-        List.iteri
-          (fun k (bd, bi) ->
-            M.add_constr lp
-              ~name:(Printf.sprintf "ci2_%d_%d_%d" det ind k)
-              (E.sub (E.add (E.var bd) (E.var bi)) (E.var q2))
-              M.Le (E.of_int 1))
-          shared_di;
-        M.add_constr lp
-          ~name:(Printf.sprintf "ci3_%d_%d" det ind)
-          (E.add (E.var q1) (E.var q2))
-          M.Le (E.of_int 1)
-      end
+      if shared <> [] then
+        if always_before det ind then
+          (* the required ordering holds everywhere: nothing to encode *)
+          incr pairs_skipped
+        else if prune && lb_start det + dur_t spec det > ub_start ind then
+          (* det can never precede ind, so sharing a device is impossible *)
+          distinct_device ~tag:"ind1" det ind (shared_slots det ind)
+        else begin
+          let q1 = M.add_var lp ~kind:M.Binary (Printf.sprintf "qi1_%d_%d" det ind) in
+          let q2 = M.add_var lp ~kind:M.Binary (Printf.sprintf "qi2_%d_%d" det ind) in
+          Hashtbl.replace conflict_aux (a, b) [ q1; q2 ];
+          M.add_constr lp
+            ~name:(Printf.sprintf "ci1_%d_%d" det ind)
+            (E.add (E.var (svar det)) (E.of_int (dur_t spec det)))
+            M.Le
+            (E.add (E.var (svar ind)) (E.iterm (pair_m det ind) q1));
+          let shared_di = shared_slots det ind in
+          List.iteri
+            (fun k (bd, bi) ->
+              M.add_constr lp
+                ~name:(Printf.sprintf "ci2_%d_%d_%d" det ind k)
+                (E.sub (E.add (E.var bd) (E.var bi)) (E.var q2))
+                M.Le (E.of_int 1))
+            shared_di;
+          M.add_constr lp
+            ~name:(Printf.sprintf "ci3_%d_%d" det ind)
+            (E.add (E.var q1) (E.var q2))
+            M.Le (E.of_int 1)
+        end
   in
   Array.iteri
     (fun i a ->
@@ -350,6 +458,32 @@ let build spec =
         (E.add (E.var (svar v)) (E.of_int (dur_t spec v)))
         M.Le (E.var makespan_var))
     layer_ops;
+  if prune then begin
+    (* Machine-load cuts: any two ops that share a slot are serialized by
+       (10)-(13) (and the indeterminate rules), so the summed duration
+       bound to one slot fits inside the makespan. Implied for integer
+       points but a strong strengthening of the LP relaxation, which could
+       otherwise overlap fractionally-ordered ops for free. *)
+    Array.iteri
+      (fun j _slot ->
+        let terms =
+          Array.to_list layer_ops
+          |> List.filter_map (fun v ->
+                 Option.map (fun bv -> E.iterm (dur_t spec v) bv) (bvar v j))
+        in
+        match terms with
+        | [] | [ _ ] -> ()
+        | _ ->
+          M.add_constr lp
+            ~name:(Printf.sprintf "load_%d" j)
+            (E.sum terms) M.Le (E.var makespan_var))
+      spec.slots;
+    (* critical-path lower bound on the makespan *)
+    let cp =
+      Array.fold_left (fun acc v -> max acc (asap v + tail v)) 0 layer_ops
+    in
+    M.add_constr lp ~name:"critical_path" (E.var makespan_var) M.Ge (E.of_int cp)
+  end;
   (* (16)-(20): area and processing cost of newly configured slots *)
   let area_expr = ref E.zero and proc_expr = ref E.zero in
   Hashtbl.iter
@@ -443,6 +577,9 @@ let build spec =
       ]
   in
   M.set_objective lp `Minimize obj;
+  Telemetry.count ~by:!pairs_skipped "ilp.model.pairs_skipped";
+  Telemetry.count ~by:(M.var_count lp) "ilp.model.vars";
+  Telemetry.count ~by:(M.constr_count lp) "ilp.model.constrs";
   {
     spec;
     lp;
@@ -476,25 +613,52 @@ let warm_start b entries =
     Array.to_list (Array.mapi (fun j s -> (j, s)) spec.slots)
     |> List.filter_map (fun (j, s) -> match s with Free _ -> Some j | Fixed _ -> None)
   in
-  let remaining_free = ref free_slots in
   let device_config = Hashtbl.create 8 in
   (* created devices carry their configuration via Binding.minimal_device;
      recompute it from the op that caused creation is unreliable, so infer
      the config from the ops bound to the device *)
   let ok = ref true in
+  (* Heuristic-created devices take free slots ordered by the layer
+     position of their earliest op: the pruned bind grid and the used_j
+     monotonicity rows of {!build} assume exactly that canonical
+     arrangement of the interchangeable free slots. *)
+  let pos_of = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.replace pos_of v i) b.layer_ops;
+  let created_min_pos = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem slot_of_device e.Schedule.device) then begin
+        let p =
+          match Hashtbl.find_opt pos_of e.Schedule.op with
+          | Some p -> p
+          | None -> max_int
+        in
+        let cur =
+          match Hashtbl.find_opt created_min_pos e.Schedule.device with
+          | Some c -> c
+          | None -> max_int
+        in
+        Hashtbl.replace created_min_pos e.Schedule.device (min cur p)
+      end)
+    entries;
+  let rec assign devices slots =
+    match (devices, slots) with
+    | [], _ -> ()
+    | _ :: _, [] -> ok := false
+    | (_, d) :: devices', j :: slots' ->
+      Hashtbl.replace slot_of_device d j;
+      assign devices' slots'
+  in
+  assign
+    (List.sort compare
+       (Hashtbl.fold (fun d p acc -> (p, d) :: acc) created_min_pos []))
+    free_slots;
   let slot_of e =
     match Hashtbl.find_opt slot_of_device e.Schedule.device with
     | Some j -> j
-    | None -> begin
-      match !remaining_free with
-      | j :: rest ->
-        remaining_free := rest;
-        Hashtbl.replace slot_of_device e.Schedule.device j;
-        j
-      | [] ->
-        ok := false;
-        -1
-    end
+    | None ->
+      ok := false;
+      -1
   in
   List.iter
     (fun e ->

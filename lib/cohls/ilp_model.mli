@@ -49,8 +49,23 @@ type built
 val model : built -> Lp.Model.t
 val horizon : built -> int
 
-val build : spec -> built
-(** @raise Invalid_argument when an operation of the layer fits no slot
+val build : ?prune:bool -> spec -> built
+(** Constructs the layer model. With [prune] (the default) the variable and
+    constraint grid is cut down before the solver ever sees it, preserving
+    the optimal objective value:
+
+    - ASAP/ALAP start windows from the layer's dependency DAG become
+      variable bounds (implied by the dependency and makespan constraints);
+    - conflict pairs whose windows already force an ordering are dropped,
+      and the surviving disjunctions get the tightest pair-specific big-M
+      instead of the global one;
+    - free slots, being interchangeable, are canonically ordered: op number
+      [i] (in layer order) may only use free slots of ordinal [<= i], and a
+      free slot may only be used if its predecessor is.
+
+    [prune:false] reproduces the full §4 grid (used by the equivalence
+    property tests). Reductions are reported on the [ilp.model.*] counters.
+    @raise Invalid_argument when an operation of the layer fits no slot
     under the given rule (the caller should add free slots). *)
 
 val warm_start : built -> Schedule.entry list -> float array option

@@ -105,6 +105,19 @@ let solve engine input ~fresh_id =
     let warm_obj =
       Option.map (fun values -> Lp.Model.eval_objective lp (fun v -> values.(v))) warm
     in
+    (* Objective cutoff: only solutions at least as good as the heuristic
+       matter, and the (all-integer) objective lets presolve propagate the
+       cutoff into tight makespan/start bounds before the search starts. *)
+    (match warm_obj with
+     | Some wobj ->
+       let _, obj_expr = Lp.Model.objective lp in
+       Lp.Model.add_constr lp ~name:"warm_cutoff" obj_expr Lp.Model.Le
+         (Lp.Linexpr.constant
+            (Numeric.Rat.of_int (int_of_float (Float.round wobj))))
+     | None -> ());
+    (* Integer weights over integer variables: the objective is integral,
+       so branch-and-bound may prune nodes within 1 of the incumbent. *)
+    let options = { options with Lp.Branch_bound.int_objective = true } in
     let result = Lp.Branch_bound.solve ~options ?warm_start:warm lp in
     let use_ilp, values =
       match (result.Lp.Branch_bound.values, result.Lp.Branch_bound.objective, warm_obj) with

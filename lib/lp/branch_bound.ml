@@ -16,11 +16,19 @@ type options = {
   node_limit : int option;
   int_tol : float;
   presolve : bool;
+  int_objective : bool;
   log : bool;
 }
 
 let default_options =
-  { time_limit = None; node_limit = None; int_tol = 1e-6; presolve = true; log = false }
+  {
+    time_limit = None;
+    node_limit = None;
+    int_tol = 1e-6;
+    presolve = true;
+    int_objective = false;
+    log = false;
+  }
 
 exception Stop_search
 
@@ -35,6 +43,7 @@ type search_state = {
   mutable nodes : int;
   mutable proven : bool; (* search space fully explored *)
   mutable best_bound : float; (* lowest open relaxation bound seen at cut-off *)
+  mutable relax_ema : float; (* running estimate of one relaxation's wall time *)
 }
 
 let now () = Telemetry.Clock.now_s ()
@@ -47,18 +56,30 @@ let limits_hit st =
 
 let fractionality x = Float.abs (x -. Float.round x)
 
-(* Most fractional integer variable, or None when integral. *)
+(* Branching variable, or None when integral: the most fractional binary
+   if any (fixing a disjunction/assignment binary collapses its big-M rows,
+   while branching on a general integer barely moves the relaxation), else
+   the most fractional general integer. *)
 let pick_branch st values =
-  let best = ref (-1) and best_frac = ref st.opts.int_tol in
+  let best_bin = ref (-1) and best_bin_frac = ref st.opts.int_tol in
+  let best_gen = ref (-1) and best_gen_frac = ref st.opts.int_tol in
   let consider v =
     let f = fractionality values.(v) in
-    if f > !best_frac then begin
-      best := v;
-      best_frac := f
+    if Model.var_kind st.model v = Model.Binary then begin
+      if f > !best_bin_frac then begin
+        best_bin := v;
+        best_bin_frac := f
+      end
+    end
+    else if f > !best_gen_frac then begin
+      best_gen := v;
+      best_gen_frac := f
     end
   in
   Array.iter consider st.int_vars;
-  if !best < 0 then None else Some !best
+  if !best_bin >= 0 then Some !best_bin
+  else if !best_gen >= 0 then Some !best_gen
+  else None
 
 let try_incumbent st values internal_obj =
   (* Round near-integral values exactly before the feasibility re-check. *)
@@ -92,7 +113,26 @@ let rec search st depth =
   let deadline =
     match st.opts.time_limit with Some t -> Some (st.started +. t) | None -> None
   in
-  match Simplex.solve_relaxation_float ?deadline st.model with
+  (* Stop cleanly when the remaining budget cannot fit another relaxation of
+     typical size: the kernel deadline below then only fires on a genuinely
+     runaway relaxation — the pathology [lp.simplex.deadline_aborts] exists
+     to count — not on routine budget exhaustion mid-pivot. *)
+  (match st.opts.time_limit with
+   | Some t ->
+     let margin = Float.max 0.05 (4.0 *. st.relax_ema) in
+     if st.started +. t -. now () < margin then begin
+       st.proven <- false;
+       raise Stop_search
+     end
+   | None -> ());
+  match
+    let t0 = now () in
+    let outcome = Simplex.solve_relaxation_float ?deadline st.model in
+    let dt = now () -. t0 in
+    st.relax_ema <-
+      (if st.relax_ema <= 0.0 then dt else (0.8 *. st.relax_ema) +. (0.2 *. dt));
+    outcome
+  with
   | exception Tableau.Deadline_exceeded ->
     (* one relaxation outlived the whole time budget: abandon the search but
        keep any incumbent (e.g. the warm start) *)
@@ -105,7 +145,13 @@ let rec search st depth =
     if depth = 0 then raise Exit
   | Simplex.Optimal { objective; values } ->
     let internal = st.dir_sign *. objective in
-    if internal >= st.incumbent_obj -. 1e-9 then begin
+    (* With an integer-valued objective, a node whose bound is within 1 of
+       the incumbent cannot contain a strictly better integer point. *)
+    let cutoff =
+      if st.opts.int_objective then st.incumbent_obj -. 1.0 +. 1e-6
+      else st.incumbent_obj -. 1e-9
+    in
+    if internal >= cutoff then begin
       (* pruned by bound; remember the tightest open bound for gap report *)
       Telemetry.count "lp.bb.pruned_by_bound";
       if internal < st.best_bound then st.best_bound <- internal
@@ -160,6 +206,7 @@ let solve ?(options = default_options) ?warm_start model =
       nodes = 0;
       proven = true;
       best_bound = infinity;
+      relax_ema = 0.0;
     }
   in
   (match warm_start with

@@ -29,6 +29,10 @@ type options = {
   node_limit : int option;
   int_tol : float;  (** integrality tolerance, default [1e-6] *)
   presolve : bool;  (** run {!Presolve} at the root, default [true] *)
+  int_objective : bool;
+      (** the objective only takes integer values on integer solutions:
+          prune nodes whose relaxation bound is within 1 of the incumbent,
+          default [false] *)
   log : bool;
 }
 

@@ -94,6 +94,19 @@ let constraints m =
 let iter_constraints m f =
   List.iter (fun c -> f c.cname c.expr c.sense c.rhs) (List.rev m.constrs)
 
+let filter_map_constraints m f =
+  let kept = ref [] and n = ref 0 in
+  List.iter
+    (fun c ->
+      match f c.cname c.expr c.sense c.rhs with
+      | None -> ()
+      | Some (expr, sense, rhs) ->
+        kept := { c with expr; sense; rhs } :: !kept;
+        incr n)
+    (List.rev m.constrs);
+  m.constrs <- !kept;
+  m.nconstrs <- !n
+
 let eval_objective m value = Linexpr.eval_float value m.obj
 
 let check_feasible m ?(tol = 1e-6) value =

@@ -49,6 +49,18 @@ val constraints : t -> (string * Linexpr.t * sense * Numeric.Rat.t) list
 
 val iter_constraints : t -> (string -> Linexpr.t -> sense -> Numeric.Rat.t -> unit) -> unit
 
+val filter_map_constraints :
+  t ->
+  (string ->
+  Linexpr.t ->
+  sense ->
+  Numeric.Rat.t ->
+  (Linexpr.t * sense * Numeric.Rat.t) option) ->
+  unit
+(** In-place constraint rewrite: the callback returns [None] to drop a row
+    or [Some (expr, sense, rhs)] to replace it (name kept). Used by
+    {!Presolve} for redundant-row removal and coefficient tightening. *)
+
 val check_feasible :
   t -> ?tol:float -> (var -> float) -> (string * float) list
 (** Violated constraints/bounds for a candidate assignment ([name, amount]);

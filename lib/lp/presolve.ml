@@ -28,6 +28,10 @@ exception Infeasible_found
 
 let run ?(max_rounds = 10) model =
   let changes = ref 0 in
+  let rows_removed = ref 0 in
+  let singleton_rows = ref 0 in
+  let coeffs_tightened = ref 0 in
+  let cols_fixed = ref 0 in
   let tighten_lb v cand =
     let cand = if Model.is_integer_var model v then Q.of_bigint (Q.ceil cand) else cand in
     let cur_lb = Model.var_lb model v and cur_ub = Model.var_ub model v in
@@ -51,6 +55,122 @@ let run ?(max_rounds = 10) model =
       Model.set_bounds model v cur_lb (Some cand);
       incr changes
     end
+  in
+  (* [0, 1] integer variable that is not yet fixed — the only shape the
+     coefficient-tightening argument below covers. *)
+  let is_binary v =
+    Model.is_integer_var model v
+    && (match Model.var_lb model v with Some l -> Q.sign l = 0 | None -> false)
+    && (match Model.var_ub model v with Some u -> Q.equal u Q.one | None -> false)
+  in
+  (* Row pass: constant and singleton rows become (nothing | a bound) and are
+     dropped; rows whose activity range cannot violate them are dropped; on
+     inequality rows, coefficients of binary variables are tightened.
+
+     Removal stays valid for the whole branch-and-bound search because
+     branching only shrinks bounds, which only shrinks activity ranges. *)
+  let row_pass () =
+    Model.filter_map_constraints model (fun _name expr sense rhs ->
+        match Linexpr.terms expr with
+        | [] ->
+          let sat =
+            match sense with
+            | Model.Le -> Q.sign rhs >= 0
+            | Model.Ge -> Q.sign rhs <= 0
+            | Model.Eq -> Q.sign rhs = 0
+          in
+          if not sat then raise Infeasible_found;
+          incr rows_removed;
+          incr changes;
+          None
+        | [ (v, c) ] ->
+          let q = Q.div rhs c in
+          (match sense with
+           | Model.Le -> if Q.sign c > 0 then tighten_ub v q else tighten_lb v q
+           | Model.Ge -> if Q.sign c > 0 then tighten_lb v q else tighten_ub v q
+           | Model.Eq ->
+             tighten_lb v q;
+             tighten_ub v q);
+          incr singleton_rows;
+          incr rows_removed;
+          incr changes;
+          None
+        | _ ->
+          let mn, mx = activity model expr in
+          let le_redundant =
+            match mx with Finite x -> Q.compare x rhs <= 0 | Inf -> false
+          in
+          let ge_redundant =
+            match mn with Finite x -> Q.compare x rhs >= 0 | Inf -> false
+          in
+          let redundant =
+            match sense with
+            | Model.Le -> le_redundant
+            | Model.Ge -> ge_redundant
+            | Model.Eq -> le_redundant && ge_redundant
+          in
+          if redundant then begin
+            incr rows_removed;
+            incr changes;
+            None
+          end
+          else begin
+            match sense with
+            | Model.Eq -> Some (expr, sense, rhs)
+            | Model.Le | Model.Ge ->
+              (* Work in <= form: [e <= b] with max activity [mx]. For a
+                 binary x with coefficient a and gap = mx - b > 0:
+                 - a > gap > 0: replace (a, b) by (gap, mx - a). At x = 1
+                   both forms say rest <= b - a; at x = 0 the new row says
+                   rest <= mx - a, which every point within bounds already
+                   satisfies — so no integer point is cut, but the LP
+                   relaxation is strictly tighter (big-M reduction).
+                 - a < -gap < 0: the same rule on the complement 1 - x
+                   gives (-(gap), b) with the rhs unchanged. *)
+              let e0, b0, mx0 =
+                match sense with
+                | Model.Le -> (expr, rhs, mx)
+                | Model.Ge -> (Linexpr.neg expr, Q.neg rhs, match mn with
+                    | Finite x -> Finite (Q.neg x)
+                    | Inf -> Inf)
+                | Model.Eq -> assert false
+              in
+              (match mx0 with
+               | Inf -> Some (expr, sense, rhs)
+               | Finite mx0 ->
+                 let e = ref e0 and b = ref b0 and mx = ref mx0 in
+                 let changed = ref false in
+                 List.iter
+                   (fun (v, _) ->
+                     if is_binary v then begin
+                       let a = Linexpr.coeff !e v in
+                       let gap = Q.sub !mx !b in
+                       if Q.sign gap > 0 then
+                         if Q.sign a > 0 && Q.compare gap a < 0 then begin
+                           let b' = Q.sub !mx a in
+                           e := Linexpr.add_term !e (Q.sub gap a) v;
+                           mx := Q.add b' gap;
+                           b := b';
+                           changed := true;
+                           incr coeffs_tightened;
+                           incr changes
+                         end
+                         else if Q.sign a < 0 && Q.compare gap (Q.neg a) < 0
+                         then begin
+                           e := Linexpr.add_term !e (Q.sub (Q.neg gap) a) v;
+                           changed := true;
+                           incr coeffs_tightened;
+                           incr changes
+                         end
+                     end)
+                   (Linexpr.terms e0);
+                 if not !changed then Some (expr, sense, rhs)
+                 else
+                   match sense with
+                   | Model.Le -> Some (!e, Model.Le, !b)
+                   | Model.Ge -> Some (Linexpr.neg !e, Model.Ge, Q.neg !b)
+                   | Model.Eq -> assert false)
+          end)
   in
   (* Propagate one inequality [expr <= rhs]. For variable v with coeff c:
      c*x_v <= rhs - min_activity(expr - c*x_v). *)
@@ -85,18 +205,77 @@ let run ?(max_rounds = 10) model =
       propagate_le expr rhs;
       propagate_le (Linexpr.neg expr) (Q.neg rhs)
   in
+  (* Duality fixing (one-sided dominated columns): if moving a variable
+     towards one of its finite bounds can never violate any constraint and
+     never worsens the objective, fix it there. The optimal value is
+     preserved (some alternative optima may be cut), and branch-and-bound
+     never branches on a fixed variable, so the fixing survives the whole
+     search. *)
+  let duality_pass () =
+    let nv = Model.var_count model in
+    let can_up = Array.make nv true and can_down = Array.make nv true in
+    Model.iter_constraints model (fun _ expr sense _ ->
+        Linexpr.fold
+          (fun v c () ->
+            match sense with
+            | Model.Le ->
+              if Q.sign c > 0 then can_up.(v) <- false
+              else if Q.sign c < 0 then can_down.(v) <- false
+            | Model.Ge ->
+              if Q.sign c > 0 then can_down.(v) <- false
+              else if Q.sign c < 0 then can_up.(v) <- false
+            | Model.Eq ->
+              if Q.sign c <> 0 then begin
+                can_up.(v) <- false;
+                can_down.(v) <- false
+              end)
+          expr ());
+    let dir, obj = Model.objective model in
+    for v = 0 to nv - 1 do
+      let lb = Model.var_lb model v and ub = Model.var_ub model v in
+      let fixed =
+        match (lb, ub) with Some l, Some u -> Q.equal l u | _ -> false
+      in
+      if not fixed then begin
+        let c =
+          let c = Linexpr.coeff obj v in
+          match dir with `Minimize -> c | `Maximize -> Q.neg c
+        in
+        if Q.sign c >= 0 && can_down.(v) then (
+          match lb with
+          | Some l ->
+            Model.set_bounds model v (Some l) (Some l);
+            incr cols_fixed;
+            incr changes
+          | None -> ())
+        else if Q.sign c <= 0 && can_up.(v) then
+          match ub with
+          | Some u ->
+            Model.set_bounds model v (Some u) (Some u);
+            incr cols_fixed;
+            incr changes
+          | None -> ()
+      end
+    done
+  in
   try
     let round = ref 0 in
-    let continue = ref true in
-    while !continue && !round < max_rounds do
+    let continue_ = ref true in
+    while !continue_ && !round < max_rounds do
       incr round;
       let before = !changes in
+      row_pass ();
       Model.iter_constraints model propagate;
-      if !changes = before then continue := false
+      duality_pass ();
+      if !changes = before then continue_ := false
     done;
     Telemetry.count "lp.presolve.runs";
     Telemetry.count ~by:!round "lp.presolve.rounds";
     Telemetry.count ~by:!changes "lp.presolve.tightenings";
+    Telemetry.count ~by:!rows_removed "lp.presolve.rows_removed";
+    Telemetry.count ~by:!singleton_rows "lp.presolve.singleton_rows";
+    Telemetry.count ~by:!coeffs_tightened "lp.presolve.coeffs_tightened";
+    Telemetry.count ~by:!cols_fixed "lp.presolve.cols_fixed";
     Ok !changes
   with Infeasible_found ->
     Telemetry.count "lp.presolve.proved_infeasible";

@@ -12,10 +12,29 @@ type mapping =
   | Split of int * int (* x = pos - neg   (free) *)
   | Fixed of Q.t (* lb = ub *)
 
-module Make_driver (F : Field.S) = struct
-  module T = Tableau.Make (F)
+(* The driver is shared between fields; the kernel is not — the float
+   instance runs the hand-specialised {!Tableau_float} (unboxed arrays, no
+   per-op indirection), the exact instance the functorised {!Tableau}. *)
+module type Kernel = sig
+  module F : Field.S
+
+  val solve_cols :
+    ?max_iters:int ->
+    ?deadline:float ->
+    ?ubs:F.t option array ->
+    nrows:int ->
+    cols:(int * F.t) array array ->
+    b:F.t array ->
+    c:F.t array ->
+    unit ->
+    F.t Tableau.result
+end
+
+module Make_driver (K : Kernel) = struct
+  module F = K.F
 
   let solve ?max_iters ?deadline model =
+    Telemetry.span "lp.simplex.solve" @@ fun () ->
     Telemetry.count "lp.simplex.relaxations";
     let nvars = Model.var_count model in
     let mapping = Array.make nvars (Fixed Q.zero) in
@@ -33,6 +52,11 @@ module Make_driver (F : Field.S) = struct
       incr nrows
     in
     let infeasible_bounds = ref false in
+    (* Doubly-bounded variables get an implicit column bound handled by the
+       bounded-variable kernel, not an explicit [x <= u - l] row: on the
+       branch-and-bound relaxations nearly every variable is boxed, so this
+       roughly halves the row count. *)
+    let col_ubs = ref [] in
     for v = 0 to nvars - 1 do
       let lb = Model.var_lb model v and ub = Model.var_ub model v in
       match (lb, ub) with
@@ -41,7 +65,7 @@ module Make_driver (F : Field.S) = struct
       | Some l, Some u ->
         let c = fresh () in
         mapping.(v) <- Shifted (c, l);
-        push_row [ (c, Q.one) ] Model.Le (Q.sub u l)
+        col_ubs := (c, Q.sub u l) :: !col_ubs
       | Some l, None -> mapping.(v) <- Shifted (fresh (), l)
       | None, Some u -> mapping.(v) <- Flipped (fresh (), u)
       | None, None ->
@@ -51,30 +75,28 @@ module Make_driver (F : Field.S) = struct
     done;
     if !infeasible_bounds then Infeasible
     else begin
-      (* Translate a model expression into (column terms, constant). *)
+      (* Translate a model expression into (column terms, constant).
+         [Linexpr] is canonical (one term per variable) and distinct
+         variables map to distinct columns, so terms need no merging. *)
       let translate expr =
-        let acc = Hashtbl.create 8 in
         let konst = ref (Linexpr.const_part expr) in
-        let bump col q =
-          let cur = match Hashtbl.find_opt acc col with Some x -> x | None -> Q.zero in
-          Hashtbl.replace acc col (Q.add cur q)
-        in
-        let visit v c _ =
-          (match mapping.(v) with
-           | Fixed k -> konst := Q.add !konst (Q.mul c k)
-           | Shifted (col, l) ->
-             bump col c;
-             konst := Q.add !konst (Q.mul c l)
-           | Flipped (col, u) ->
-             bump col (Q.neg c);
-             konst := Q.add !konst (Q.mul c u)
-           | Split (p, q) ->
-             bump p c;
-             bump q (Q.neg c));
-          ()
-        in
-        Linexpr.fold (fun v c () -> visit v c ()) expr ();
-        (Hashtbl.fold (fun col c l -> if Q.is_zero c then l else (col, c) :: l) acc [], !konst)
+        let acc = ref [] in
+        let bump col q = if not (Q.is_zero q) then acc := (col, q) :: !acc in
+        Linexpr.fold
+          (fun v c () ->
+            match mapping.(v) with
+            | Fixed k -> konst := Q.add !konst (Q.mul c k)
+            | Shifted (col, l) ->
+              bump col c;
+              konst := Q.add !konst (Q.mul c l)
+            | Flipped (col, u) ->
+              bump col (Q.neg c);
+              konst := Q.add !konst (Q.mul c u)
+            | Split (p, q) ->
+              bump p c;
+              bump q (Q.neg c))
+          expr ();
+        (!acc, !konst)
       in
       Model.iter_constraints model (fun _name expr sense rhs ->
           let terms, k = translate expr in
@@ -93,14 +115,18 @@ module Make_driver (F : Field.S) = struct
         row_list;
       let n = !ncols in
       let m = !nrows in
-      let a = Array.make_matrix m n F.zero in
+      (* Column-wise sparse assembly: [translate] merges duplicate variables
+         per row, so each (row, col) pair occurs at most once. *)
+      let col_entries = Array.make n [] in
       let b = Array.make m F.zero in
+      let nnz = ref 0 in
       List.iteri
         (fun i (terms, sense, rhs) ->
           let flip = Q.sign rhs < 0 in
           let put col q =
             let q = if flip then Q.neg q else q in
-            a.(i).(col) <- F.add a.(i).(col) (F.of_rat q)
+            col_entries.(col) <- (i, F.of_rat q) :: col_entries.(col);
+            incr nnz
           in
           List.iter (fun (col, q) -> put col q) terms;
           (match sense with
@@ -109,13 +135,22 @@ module Make_driver (F : Field.S) = struct
            | Model.Eq -> ());
           b.(i) <- F.of_rat (if flip then Q.neg rhs else rhs))
         row_list;
+      let cols = Array.map (fun l -> Array.of_list (List.rev l)) col_entries in
       let c = Array.make n F.zero in
       let obj_sign = match dir with `Minimize -> Q.one | `Maximize -> Q.minus_one in
       List.iter
         (fun (col, q) -> c.(col) <- F.add c.(col) (F.of_rat (Q.mul obj_sign q)))
         obj_terms;
       ignore struct_cols;
-      match T.solve ?max_iters ?deadline ~a ~b ~c () with
+      let ubs = Array.make n None in
+      List.iter (fun (col, u) -> ubs.(col) <- Some (F.of_rat u)) !col_ubs;
+      Telemetry.count ~by:m "lp.simplex.rows";
+      Telemetry.count ~by:n "lp.simplex.cols";
+      Telemetry.count ~by:!nnz "lp.simplex.nnz";
+      match
+        Telemetry.span "lp.simplex.kernel" (fun () ->
+            K.solve_cols ?max_iters ?deadline ~ubs ~nrows:m ~cols ~b ~c ())
+      with
       | Tableau.Infeasible -> Infeasible
       | Tableau.Unbounded -> Unbounded
       | Tableau.Optimal (value, x) ->
@@ -136,8 +171,19 @@ module Make_driver (F : Field.S) = struct
     end
 end
 
-module Float_driver = Make_driver (Field.Approx)
-module Exact_driver = Make_driver (Field.Exact)
+module Float_kernel = struct
+  module F = Field.Approx
+
+  let solve_cols = Tableau_float.solve_cols
+end
+
+module Exact_kernel = struct
+  module F = Field.Exact
+  include Tableau.Make (Field.Exact)
+end
+
+module Float_driver = Make_driver (Float_kernel)
+module Exact_driver = Make_driver (Exact_kernel)
 
 let solve_relaxation_float ?max_iters ?deadline model =
   Float_driver.solve ?max_iters ?deadline model

@@ -1,10 +1,20 @@
-(** Dense two-phase primal simplex on standard-form problems
+(** Sparse revised two-phase primal simplex on bounded standard-form
+    problems
 
-    {[ minimise  c . x   subject to   A x = b,  x >= 0 ]}
+    {[ minimise  c . x   subject to   A x = b,  0 <= x <= u ]}
 
-    with [b >= 0] (the caller flips row signs beforehand). Artificial
-    variables are managed internally; Bland's rule guarantees termination.
-    This is the kernel under both {!Simplex} front-ends. *)
+    with [b >= 0] (the caller flips row signs beforehand) and [u] optional
+    per column. The constraint matrix is held column-wise sparse and the
+    basis inverse as a periodically-refactorised product-form eta file, so
+    the per-iteration cost is proportional to the number of nonzeros rather
+    than [m * n]. Upper bounds are enforced inside the ratio test (nonbasic
+    variables rest at either bound; a step may end in a bound flip with no
+    basis change) instead of as explicit rows, which roughly halves the row
+    count on the branch-and-bound relaxations this kernel exists for.
+    Artificial variables are managed internally; pricing is
+    steepest-edge-lite (reduced costs scaled by static column norms) with a
+    Bland fallback that guarantees termination. This is the kernel under
+    both {!Simplex} front-ends. *)
 
 type 'num result =
   | Optimal of 'num * 'num array
@@ -18,6 +28,29 @@ exception Deadline_exceeded
     long-running relaxation. *)
 
 module Make (F : Field.S) : sig
+  val solve_cols :
+    ?max_iters:int ->
+    ?deadline:float ->
+    ?ubs:F.t option array ->
+    nrows:int ->
+    cols:(int * F.t) array array ->
+    b:F.t array ->
+    c:F.t array ->
+    unit ->
+    F.t result
+  (** [solve_cols ~nrows ~cols ~b ~c ()] with [cols.(j)] the sparse column
+      of structural variable [j] as (row, coefficient) pairs (each row at
+      most once per column), [b] length [nrows] (all entries [>= 0]), [c]
+      length [Array.length cols]. [ubs.(j)], when present, is a strictly
+      positive upper bound on structural variable [j] (default: none — the
+      classic [x >= 0] form); fixed variables must be substituted out by
+      the caller. [deadline] is an absolute {!Telemetry.Clock} time checked
+      every few pivots.
+      @raise Invalid_argument on shape mismatch, a row index out of range,
+      negative [b] entries or a non-positive upper bound.
+      @raise Failure if [max_iters] (default [50_000]) pivots are exceeded.
+      @raise Deadline_exceeded if [deadline] passes mid-solve. *)
+
   val solve :
     ?max_iters:int ->
     ?deadline:float ->
@@ -26,10 +59,6 @@ module Make (F : Field.S) : sig
     c:F.t array ->
     unit ->
     F.t result
-  (** [solve ~a ~b ~c ()] with [a] of shape [m x n], [b] length [m]
-      (all entries [>= 0]), [c] length [n]. [deadline] is an absolute
-      {!Telemetry.Clock} time checked every few pivots.
-      @raise Invalid_argument on shape mismatch or negative [b] entries.
-      @raise Failure if [max_iters] (default [50_000]) pivots are exceeded.
-      @raise Deadline_exceeded if [deadline] passes mid-solve. *)
+  (** Dense-input convenience wrapper over {!solve_cols}: [a] of shape
+      [m x n] is converted to sparse columns first. Same contract. *)
 end

@@ -1,0 +1,530 @@
+(* Float-specialised copy of the bounded-variable simplex kernel in
+   {!Tableau.Make}.
+
+   The functorised kernel pays an indirect call and a float box per
+   arithmetic operation (this switch has no flambda, so [Field.S] calls are
+   never inlined and ['a array] never unboxes), which dominates the
+   per-pivot cost on the branch-and-bound relaxations. This copy hardcodes
+   [t = float] so every hot array is an unboxed [float array] and every
+   comparison is inline, and is what {!Simplex.Float_driver} actually runs;
+   the exact-rational driver stays on the functor. The algorithm — crash
+   basis, two phases, bounded-variable ratio test with bound flips,
+   fill-avoiding refactorisation, steepest-edge-lite pricing with Bland
+   fallback — mirrors [tableau.ml] statement for statement; keep the two in
+   sync (the exact-vs-float property test in [test_lp.ml] cross-checks
+   them on random models). Tolerances match {!Field.Approx} ([eps = 1e-9]). *)
+
+let eps = 1e-9
+
+type eta = {
+  e_row : int;
+  e_pivot : float;  (* 1 / alpha_r *)
+  e_idx : int array;  (* rows i <> e_row with nonzero alpha_i *)
+  e_val : float array;  (* -alpha_i / alpha_r, parallel to [e_idx] *)
+}
+
+let dummy_eta = { e_row = 0; e_pivot = 1.0; e_idx = [||]; e_val = [||] }
+
+type state = {
+  m : int;
+  n : int;
+  cidx : int array array;  (* structural columns: row indices *)
+  cval : float array array;  (* structural columns: coefficients *)
+  ubs : float array;  (* upper bound per structural column, [infinity] = none *)
+  at_ub : bool array;
+  weight : float array;
+  basis : int array;
+  pos : int array;
+  x_b : float array;
+  b : float array;
+  mutable etas : eta array;
+  mutable n_etas : int;
+  mutable factor_etas : int;
+}
+
+let clamp x = if Float.abs x <= eps then 0.0 else x
+let fcmp a b = if Float.abs (a -. b) <= eps then 0 else Float.compare a b
+let ub_of st j = if j < st.n then st.ubs.(j) else infinity
+
+let push_eta st e =
+  if st.n_etas = Array.length st.etas then begin
+    let bigger = Array.make (max 16 (2 * st.n_etas)) e in
+    Array.blit st.etas 0 bigger 0 st.n_etas;
+    st.etas <- bigger
+  end;
+  st.etas.(st.n_etas) <- e;
+  st.n_etas <- st.n_etas + 1
+
+let ftran st v =
+  for t = 0 to st.n_etas - 1 do
+    let e = st.etas.(t) in
+    let x = v.(e.e_row) in
+    if Float.abs x > eps then begin
+      v.(e.e_row) <- e.e_pivot *. x;
+      let idx = e.e_idx and vl = e.e_val in
+      for k = 0 to Array.length idx - 1 do
+        v.(idx.(k)) <- v.(idx.(k)) +. (vl.(k) *. x)
+      done
+    end
+  done
+
+let btran st y =
+  for t = st.n_etas - 1 downto 0 do
+    let e = st.etas.(t) in
+    let acc = ref (e.e_pivot *. y.(e.e_row)) in
+    let idx = e.e_idx and vl = e.e_val in
+    for k = 0 to Array.length idx - 1 do
+      acc := !acc +. (vl.(k) *. y.(idx.(k)))
+    done;
+    y.(e.e_row) <- clamp !acc
+  done
+
+let scatter st j v =
+  if j < st.n then begin
+    let idx = st.cidx.(j) and vl = st.cval.(j) in
+    for k = 0 to Array.length idx - 1 do
+      v.(idx.(k)) <- vl.(k)
+    done
+  end
+  else v.(j - st.n) <- 1.0
+
+let eta_of_alpha ~row alpha =
+  let ar = alpha.(row) in
+  let m = Array.length alpha in
+  let cnt = ref 0 in
+  for i = 0 to m - 1 do
+    if i <> row && Float.abs alpha.(i) > eps then incr cnt
+  done;
+  let idx = Array.make !cnt 0 and vl = Array.make !cnt 0.0 in
+  let k = ref 0 in
+  for i = 0 to m - 1 do
+    if i <> row && Float.abs alpha.(i) > eps then begin
+      idx.(!k) <- i;
+      vl.(!k) <- -.(alpha.(i) /. ar);
+      incr k
+    end
+  done;
+  { e_row = row; e_pivot = 1.0 /. ar; e_idx = idx; e_val = vl }
+
+let pivot st ~row ~col ~t ~dir ~enter_val alpha =
+  let step = t *. dir in
+  push_eta st (eta_of_alpha ~row alpha);
+  for i = 0 to st.m - 1 do
+    if i <> row && Float.abs alpha.(i) > eps then
+      st.x_b.(i) <- clamp (st.x_b.(i) -. (step *. alpha.(i)))
+  done;
+  st.x_b.(row) <- clamp (enter_val +. step);
+  st.pos.(st.basis.(row)) <- -1;
+  st.basis.(row) <- col;
+  st.pos.(col) <- row
+
+(* See [Tableau.Make.refactor]: identity-like columns first, then dynamic
+   row-singleton elimination, then a dense sweep over the residual bump. *)
+let refactor st refactorisations =
+  st.n_etas <- 0;
+  incr refactorisations;
+  let order = Array.copy st.basis in
+  let taken = Array.make st.m false in
+  let placed = Array.make st.m false in
+  let v = Array.make st.m 0.0 in
+  let place t col row =
+    taken.(row) <- true;
+    placed.(t) <- true;
+    st.basis.(row) <- col
+  in
+  let pivot_full t col ~row_hint =
+    Array.fill v 0 st.m 0.0;
+    scatter st col v;
+    ftran st v;
+    let row =
+      match row_hint with
+      | Some r when Float.abs v.(r) > eps -> r
+      | _ ->
+        let best = ref (-1) and best_mag = ref 0.0 in
+        for i = 0 to st.m - 1 do
+          if (not taken.(i)) && Float.abs v.(i) > eps then begin
+            let mag = Float.abs v.(i) in
+            if !best < 0 || mag > !best_mag then begin
+              best := i;
+              best_mag := mag
+            end
+          end
+        done;
+        if !best < 0 then failwith "Tableau_float: singular basis on refactorisation";
+        !best
+    in
+    push_eta st (eta_of_alpha ~row v);
+    place t col row
+  in
+  Array.iteri
+    (fun t col ->
+      if col >= st.n then begin
+        let r = col - st.n in
+        if not taken.(r) then place t col r
+      end
+      else if Array.length st.cidx.(col) = 1 then begin
+        let r = st.cidx.(col).(0) in
+        if not taken.(r) then begin
+          let a = st.cval.(col).(0) in
+          if fcmp a 1.0 <> 0 then
+            push_eta st { e_row = r; e_pivot = 1.0 /. a; e_idx = [||]; e_val = [||] };
+          place t col r
+        end
+      end)
+    order;
+  let row_count = Array.make st.m 0 in
+  let row_cols = Array.make st.m [] in
+  Array.iteri
+    (fun t col ->
+      if not placed.(t) then
+        Array.iter
+          (fun i ->
+            if not taken.(i) then begin
+              row_count.(i) <- row_count.(i) + 1;
+              row_cols.(i) <- t :: row_cols.(i)
+            end)
+          st.cidx.(col))
+    order;
+  let queue = Queue.create () in
+  for i = 0 to st.m - 1 do
+    if (not taken.(i)) && row_count.(i) = 1 then Queue.add i queue
+  done;
+  while not (Queue.is_empty queue) do
+    let r = Queue.take queue in
+    if (not taken.(r)) && row_count.(r) = 1 then
+      match List.find_opt (fun t -> not placed.(t)) row_cols.(r) with
+      | None -> ()
+      | Some t ->
+        let col = order.(t) in
+        pivot_full t col ~row_hint:(Some r);
+        Array.iter
+          (fun i ->
+            if not taken.(i) then begin
+              row_count.(i) <- row_count.(i) - 1;
+              if row_count.(i) = 1 then Queue.add i queue
+            end)
+          st.cidx.(col)
+  done;
+  let bump = ref [] in
+  Array.iteri (fun t _ -> if not placed.(t) then bump := t :: !bump) order;
+  let bump =
+    List.sort
+      (fun t1 t2 ->
+        compare (Array.length st.cidx.(order.(t1))) (Array.length st.cidx.(order.(t2))))
+      !bump
+  in
+  List.iter (fun t -> pivot_full t order.(t) ~row_hint:None) bump;
+  Array.fill st.pos 0 (st.n + st.m) (-1);
+  Array.iteri (fun i col -> st.pos.(col) <- i) st.basis;
+  Array.blit st.b 0 st.x_b 0 st.m;
+  for j = 0 to st.n - 1 do
+    if st.pos.(j) < 0 && st.at_ub.(j) then begin
+      let u = st.ubs.(j) in
+      let idx = st.cidx.(j) and vl = st.cval.(j) in
+      for k = 0 to Array.length idx - 1 do
+        st.x_b.(idx.(k)) <- st.x_b.(idx.(k)) -. (vl.(k) *. u)
+      done
+    end
+  done;
+  ftran st st.x_b;
+  for i = 0 to st.m - 1 do
+    st.x_b.(i) <- clamp st.x_b.(i)
+  done;
+  st.factor_etas <- st.n_etas
+
+(* See [Tableau.Make.entering]; [c_of] is split into the structural cost
+   array and the phase flag so the reduced-cost loop stays allocation-free. *)
+let entering st ~c ~phase2 ~bland ~y alpha =
+  for i = 0 to st.m - 1 do
+    let bv = st.basis.(i) in
+    y.(i) <-
+      (if phase2 then if bv < st.n then c.(bv) else 0.0
+       else if bv >= st.n then 1.0
+       else 0.0)
+  done;
+  btran st y;
+  let reduced j =
+    let s = ref (if phase2 then c.(j) else 0.0) in
+    let idx = st.cidx.(j) and vl = st.cval.(j) in
+    for k = 0 to Array.length idx - 1 do
+      s := !s -. (vl.(k) *. y.(idx.(k)))
+    done;
+    !s
+  in
+  let eligible j d = if st.at_ub.(j) then d > eps else d < -.eps in
+  let chosen =
+    if bland then begin
+      let rec go j =
+        if j >= st.n then -1
+        else if st.pos.(j) < 0 && eligible j (reduced j) then j
+        else go (j + 1)
+      in
+      go 0
+    end
+    else begin
+      let best = ref (-1) and best_score = ref 0.0 in
+      for j = 0 to st.n - 1 do
+        if st.pos.(j) < 0 then begin
+          let d = reduced j in
+          if eligible j d then begin
+            let score = d *. d /. st.weight.(j) in
+            if score > !best_score then begin
+              best := j;
+              best_score := score
+            end
+          end
+        end
+      done;
+      !best
+    end
+  in
+  if chosen < 0 then None
+  else begin
+    Array.fill alpha 0 st.m 0.0;
+    scatter st chosen alpha;
+    ftran st alpha;
+    Some (chosen, if st.at_ub.(chosen) then -1.0 else 1.0)
+  end
+
+type step =
+  | Flip
+  | Leave of { row : int; t : float; to_ub : bool }
+  | Unbounded_dir
+
+(* See [Tableau.Make.ratio_test]. *)
+let ratio_test st alpha ~dir ~span ~phase2 =
+  let best = ref (-1) in
+  let best_ratio = ref 0.0 in
+  let best_to_ub = ref false in
+  let best_art = ref false in
+  for i = 0 to st.m - 1 do
+    let aeff = dir *. alpha.(i) in
+    if Float.abs aeff > eps then begin
+      let bv = st.basis.(i) in
+      let art = bv >= st.n in
+      let candidate ratio to_ub =
+        let better =
+          !best < 0
+          || fcmp ratio !best_ratio < 0
+          || (fcmp ratio !best_ratio = 0
+              && ((art && not !best_art)
+                  || (art = !best_art && bv < st.basis.(!best))))
+        in
+        if better then begin
+          best := i;
+          best_ratio := ratio;
+          best_to_ub := to_ub;
+          best_art := art
+        end
+      in
+      if aeff > eps then candidate (st.x_b.(i) /. aeff) false
+      else begin
+        let u = ub_of st bv in
+        if u < infinity then candidate ((u -. st.x_b.(i)) /. -.aeff) true
+        else if phase2 && art && Float.abs st.x_b.(i) <= eps then candidate 0.0 false
+      end
+    end
+  done;
+  if !best < 0 then if span < infinity then Flip else Unbounded_dir
+  else if span < infinity && fcmp span !best_ratio <= 0 then Flip
+  else Leave { row = !best; t = !best_ratio; to_ub = !best_to_ub }
+
+let run_phase st ~c ~phase2 ~max_iters ~iter_count ~deadline ~pivots
+    ~bland_pivots ~flips ~refactorisations alpha =
+  let switch = 3 * (st.m + st.n) in
+  let refactor_limit = min 150 (50 + (st.m / 4)) in
+  let y = Array.make st.m 0.0 in
+  let rec loop () =
+    if !iter_count > max_iters then failwith "Tableau: iteration limit exceeded";
+    (match deadline with
+     | Some t when !iter_count land 15 = 0 && Telemetry.Clock.now_s () > t ->
+       Telemetry.count "lp.simplex.deadline_aborts";
+       raise Tableau.Deadline_exceeded
+     | Some _ | None -> ());
+    incr iter_count;
+    if st.n_etas - st.factor_etas > refactor_limit then refactor st refactorisations;
+    let bland = !iter_count > switch in
+    match entering st ~c ~phase2 ~bland ~y alpha with
+    | None -> `Optimal
+    | Some (col, dir) -> begin
+      let span = st.ubs.(col) in
+      match ratio_test st alpha ~dir ~span ~phase2 with
+      | Unbounded_dir -> `Unbounded
+      | Flip ->
+        let step = span *. dir in
+        for i = 0 to st.m - 1 do
+          if Float.abs alpha.(i) > eps then
+            st.x_b.(i) <- clamp (st.x_b.(i) -. (step *. alpha.(i)))
+        done;
+        st.at_ub.(col) <- not st.at_ub.(col);
+        incr flips;
+        loop ()
+      | Leave { row; t; to_ub } ->
+        let leaving = st.basis.(row) in
+        let enter_val = if st.at_ub.(col) then st.ubs.(col) else 0.0 in
+        pivot st ~row ~col ~t ~dir ~enter_val alpha;
+        st.at_ub.(col) <- false;
+        if leaving < st.n then st.at_ub.(leaving) <- to_ub;
+        incr pivots;
+        if bland then incr bland_pivots;
+        loop ()
+    end
+  in
+  loop ()
+
+(* See [Tableau.Make.drive_out_artificials]. *)
+let drive_out_artificials st ~pivots =
+  let rho = Array.make st.m 0.0 in
+  let alpha = Array.make st.m 0.0 in
+  for i = 0 to st.m - 1 do
+    if st.basis.(i) >= st.n then begin
+      Array.fill rho 0 st.m 0.0;
+      rho.(i) <- 1.0;
+      btran st rho;
+      let row_entry j =
+        let s = ref 0.0 in
+        let idx = st.cidx.(j) and vl = st.cval.(j) in
+        for k = 0 to Array.length idx - 1 do
+          s := !s +. (vl.(k) *. rho.(idx.(k)))
+        done;
+        !s
+      in
+      let rec find j =
+        if j >= st.n then -1
+        else if st.pos.(j) < 0 && Float.abs (row_entry j) > eps then j
+        else find (j + 1)
+      in
+      let col = find 0 in
+      if col >= 0 then begin
+        Array.fill alpha 0 st.m 0.0;
+        scatter st col alpha;
+        ftran st alpha;
+        if Float.abs alpha.(i) > eps then begin
+          let enter_val = if st.at_ub.(col) then st.ubs.(col) else 0.0 in
+          pivot st ~row:i ~col ~t:0.0 ~dir:1.0 ~enter_val alpha;
+          st.at_ub.(col) <- false;
+          incr pivots
+        end
+      end
+    end
+  done
+
+let solve_cols ?(max_iters = 50_000) ?deadline ?ubs ~nrows:m ~cols ~b ~c () =
+  let n = Array.length cols in
+  if Array.length b <> m then invalid_arg "Tableau.solve: b length";
+  if Array.length c <> n then invalid_arg "Tableau.solve: c length";
+  let ub_arr = Array.make n infinity in
+  (match ubs with
+   | None -> ()
+   | Some u ->
+     if Array.length u <> n then invalid_arg "Tableau.solve: ubs length";
+     Array.iteri
+       (fun j uo ->
+         match uo with
+         | Some x when x <= eps -> invalid_arg "Tableau.solve: non-positive upper bound"
+         | Some x -> ub_arr.(j) <- x
+         | None -> ())
+       u);
+  let cidx = Array.map (fun col -> Array.map fst col) cols in
+  let cval = Array.map (fun col -> Array.map snd col) cols in
+  Array.iter
+    (fun idx ->
+      Array.iter
+        (fun i -> if i < 0 || i >= m then invalid_arg "Tableau.solve: row out of range")
+        idx)
+    cidx;
+  Array.iter (fun bi -> if bi < -.eps then invalid_arg "Tableau.solve: negative rhs") b;
+  let weight =
+    Array.map
+      (fun vl -> Array.fold_left (fun acc x -> acc +. (x *. x)) 1.0 vl)
+      cval
+  in
+  let basis = Array.init m (fun i -> n + i) in
+  let covered = Array.make m false in
+  for j = 0 to n - 1 do
+    if Array.length cidx.(j) = 1 then begin
+      let i = cidx.(j).(0) in
+      if (not covered.(i)) && cval.(j).(0) > eps && ub_arr.(j) = infinity then begin
+        covered.(i) <- true;
+        basis.(i) <- j
+      end
+    end
+  done;
+  let pos = Array.make (n + m) (-1) in
+  for i = 0 to m - 1 do
+    pos.(basis.(i)) <- i
+  done;
+  let st =
+    {
+      m;
+      n;
+      cidx;
+      cval;
+      ubs = ub_arr;
+      at_ub = Array.make n false;
+      weight;
+      basis;
+      pos;
+      x_b = Array.map clamp b;
+      b = Array.copy b;
+      etas = [| dummy_eta |];
+      n_etas = 0;
+      factor_etas = 0;
+    }
+  in
+  for i = 0 to m - 1 do
+    if covered.(i) then begin
+      let a = st.cval.(basis.(i)).(0) in
+      if fcmp a 1.0 <> 0 then begin
+        push_eta st { e_row = i; e_pivot = 1.0 /. a; e_idx = [||]; e_val = [||] };
+        st.x_b.(i) <- clamp (st.x_b.(i) /. a)
+      end
+    end
+  done;
+  st.factor_etas <- st.n_etas;
+  let pivots = ref 0
+  and bland_pivots = ref 0
+  and flips = ref 0
+  and refactorisations = ref 0 in
+  let flush () =
+    Telemetry.count "lp.simplex.solves";
+    Telemetry.count ~by:!pivots "lp.simplex.pivots";
+    Telemetry.count ~by:!bland_pivots "lp.simplex.bland_pivots";
+    Telemetry.count ~by:!flips "lp.simplex.bound_flips";
+    Telemetry.count ~by:!refactorisations "lp.simplex.refactorisations"
+  in
+  Fun.protect ~finally:flush @@ fun () ->
+  let iter_count = ref 0 in
+  let alpha = Array.make m 0.0 in
+  match
+    run_phase st ~c ~phase2:false ~max_iters ~iter_count ~deadline ~pivots
+      ~bland_pivots ~flips ~refactorisations alpha
+  with
+  | `Unbounded -> failwith "Tableau: phase-1 unbounded (impossible)"
+  | `Optimal ->
+    let infeas = ref 0.0 in
+    for i = 0 to m - 1 do
+      if st.basis.(i) >= n then infeas := !infeas +. st.x_b.(i)
+    done;
+    if !infeas > eps then Tableau.Infeasible
+    else begin
+      drive_out_artificials st ~pivots;
+      match
+        run_phase st ~c ~phase2:true ~max_iters ~iter_count ~deadline ~pivots
+          ~bland_pivots ~flips ~refactorisations alpha
+      with
+      | `Unbounded -> Tableau.Unbounded
+      | `Optimal ->
+        let x = Array.make n 0.0 in
+        for j = 0 to n - 1 do
+          if st.pos.(j) < 0 && st.at_ub.(j) then x.(j) <- st.ubs.(j)
+        done;
+        for i = 0 to m - 1 do
+          if st.basis.(i) < n then x.(st.basis.(i)) <- st.x_b.(i)
+        done;
+        let value = ref 0.0 in
+        for j = 0 to n - 1 do
+          value := !value +. (c.(j) *. x.(j))
+        done;
+        Tableau.Optimal (!value, x)
+    end

@@ -1,0 +1,24 @@
+(** Float-specialised bounded-variable simplex kernel.
+
+    Same algorithm and contract as [Tableau.Make(Field.Approx).solve_cols]
+    — crash basis, two phases, implicit upper bounds with bound flips,
+    periodic fill-avoiding refactorisation — but hand-specialised to
+    [float] so the hot arrays are unboxed and the arithmetic is inline
+    (this switch has no flambda, so the functorised kernel pays an indirect
+    call and an allocation per field operation). Used by
+    {!Simplex.Float_driver}; the exact-rational driver keeps the functor.
+    Keep in sync with [tableau.ml] — the exact-vs-float property test
+    cross-checks the two on random models. *)
+
+val solve_cols :
+  ?max_iters:int ->
+  ?deadline:float ->
+  ?ubs:float option array ->
+  nrows:int ->
+  cols:(int * float) array array ->
+  b:float array ->
+  c:float array ->
+  unit ->
+  float Tableau.result
+(** Contract of [Tableau.Make(Field.Approx).solve_cols], including the
+    telemetry counters and {!Tableau.Deadline_exceeded}. *)

@@ -252,6 +252,24 @@ let counter_value name =
 (* ------------------------------------------------------------ exporters *)
 
 module Export = struct
+  (* Report files are read by tooling (the CI perf gate, trace viewers), so
+     a crash or interrupt mid-write must not leave a truncated file behind:
+     write to a temp file in the same directory, then rename into place —
+     atomic on POSIX. *)
+  let write_atomic path content =
+    let dir = Filename.dirname path in
+    let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+      (fun () ->
+        let oc = open_out tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc content;
+            flush oc);
+        Sys.rename tmp path)
+
   (* Spans aggregated by name for the flat report. *)
   let span_aggregates sps =
     let tbl = Hashtbl.create 16 in

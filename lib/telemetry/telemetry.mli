@@ -95,6 +95,12 @@ val counter_value : string -> int
 (** Current value of one counter, 0 when never bumped. *)
 
 module Export : sig
+  val write_atomic : string -> string -> unit
+  (** [write_atomic path content] writes [content] to [path] via a temp
+      file in the same directory and an atomic rename, so an interrupt or
+      [Sys_error] mid-write never leaves a truncated report for tooling
+      (e.g. the CI perf gate) to trip over. *)
+
   val chrome_trace : ?process_name:string -> unit -> string
   (** Chrome trace_event JSON ({i chrome://tracing} / Perfetto): one
       complete ("ph":"X") event per span with microsecond timestamps

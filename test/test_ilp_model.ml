@@ -200,6 +200,45 @@ let test_indeterminate_constraints () =
         (ed.Cohls.Schedule.start + ed.Cohls.Schedule.min_duration + ed.Cohls.Schedule.transport
          <= ei.Cohls.Schedule.start)
 
+let test_pruned_matches_unpruned () =
+  (* The pruning families (ASAP/ALAP start windows, pair skipping with
+     per-pair big-M, free-slot symmetry rows, machine-load cuts) must not
+     change the optimal objective — [prune:false] reproduces the full §4
+     grid, so the two builds are solved to optimality and compared. *)
+  let a, _, _, _ = small_assay () in
+  let ind = Assay.create ~name:"ind" in
+  let _ = Assay.add_operation ind ~duration:(Operation.Fixed 6) "d" in
+  let _ =
+    Assay.add_operation ind ~duration:(Operation.Indeterminate { min_minutes = 4 }) "i"
+  in
+  let specs =
+    [
+      spec_of a ~slots:(free_slots 3) ~rule:Cohls.Binding.Component_oriented;
+      spec_of a ~slots:(free_slots 2) ~rule:Cohls.Binding.Exact_signature;
+      spec_of ind ~slots:(free_slots 2) ~rule:Cohls.Binding.Component_oriented;
+    ]
+  in
+  let options =
+    { Lp.Branch_bound.default_options with Lp.Branch_bound.time_limit = Some 30.0 }
+  in
+  List.iteri
+    (fun i spec ->
+      let pruned = Lp.Branch_bound.solve ~options (IM.model (IM.build spec)) in
+      let full =
+        Lp.Branch_bound.solve ~options (IM.model (IM.build ~prune:false spec))
+      in
+      check bool
+        (Printf.sprintf "spec %d: both optimal" i)
+        true
+        (pruned.Lp.Branch_bound.status = Lp.Branch_bound.Optimal
+        && full.Lp.Branch_bound.status = Lp.Branch_bound.Optimal);
+      match (pruned.Lp.Branch_bound.objective, full.Lp.Branch_bound.objective) with
+      | Some p, Some f ->
+        if Float.abs (p -. f) > 1e-6 then
+          Alcotest.failf "spec %d: pruned %.6g <> unpruned %.6g" i p f
+      | _ -> Alcotest.failf "spec %d: missing objective" i)
+    specs
+
 let test_ilp_engine_end_to_end () =
   (* full synthesis with the ILP engine on the small kinase protocol must
      validate and be no worse than the heuristic on the weighted objective *)
@@ -298,6 +337,8 @@ let () =
           Alcotest.test_case "warm start is feasible" `Quick test_warm_start_feasible;
           Alcotest.test_case "indeterminate constraints" `Slow
             test_indeterminate_constraints;
+          Alcotest.test_case "pruned optimum matches unpruned" `Slow
+            test_pruned_matches_unpruned;
         ] );
       ( "engine",
         [

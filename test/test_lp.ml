@@ -243,6 +243,9 @@ let test_presolve_tightens () =
   let m = M.create () in
   let x = M.add_var m ~kind:M.Integer ~ub:(Q.of_int 100) "x" in
   let y = M.add_var m ~kind:M.Integer ~ub:(Q.of_int 100) "y" in
+  (* Maximise so duality fixing cannot fix x/y at their lower bounds and the
+     propagated upper bounds stay observable. *)
+  M.set_objective m `Maximize (E.add (E.var x) (E.var y));
   M.add_constr m (E.add (E.var x) (E.var y)) M.Le (E.of_int 7);
   (match Lp.Presolve.run m with
    | Lp.Presolve.Ok changes -> check bool "changed" true (changes > 0)
@@ -253,6 +256,7 @@ let test_presolve_tightens () =
 let test_presolve_integer_rounding () =
   let m = M.create () in
   let x = M.add_var m ~kind:M.Integer ~ub:(Q.of_int 10) "x" in
+  M.set_objective m `Maximize (E.var x);
   M.add_constr m (E.iterm 2 x) M.Le (E.of_int 7);
   ignore (Lp.Presolve.run m);
   check bool "rounded down to 3" true (M.var_ub m x = Some (Q.of_int 3))
@@ -264,6 +268,74 @@ let test_presolve_infeasible () =
   match Lp.Presolve.run m with
   | Lp.Presolve.Proved_infeasible -> ()
   | Lp.Presolve.Ok _ -> Alcotest.fail "expected infeasible"
+
+(* Presolve must preserve the optimal objective value (not necessarily the
+   optimal point: duality fixing may pick one optimum among several) on
+   random small ILPs. Variables are boxed, so every instance is either
+   Optimal or Infeasible and branch-and-bound terminates. *)
+let arb_ilp =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 4 >>= fun nvars ->
+      int_range 1 4 >>= fun nrows ->
+      let coeff = int_range (-3) 3 in
+      list_size (return nrows)
+        (triple (list_size (return nvars) coeff) (int_range 0 2) (int_range (-4) 12))
+      >>= fun rows ->
+      list_size (return nvars) coeff >>= fun obj ->
+      bool >>= fun maximize -> return (nvars, rows, obj, maximize))
+  in
+  QCheck.make gen ~print:(fun (n, rows, obj, maximize) ->
+      Printf.sprintf "n=%d rows=%s obj=%s dir=%s" n
+        (String.concat ";"
+           (List.map
+              (fun (cs, s, b) ->
+                Printf.sprintf "%s %s %d"
+                  (String.concat "," (List.map string_of_int cs))
+                  (match s with 0 -> "<=" | 1 -> ">=" | _ -> "=")
+                  b)
+              rows))
+        (String.concat "," (List.map string_of_int obj))
+        (if maximize then "max" else "min"))
+
+let build_ilp (nvars, rows, obj, maximize) =
+  let m = M.create () in
+  let xs =
+    Array.init nvars (fun i ->
+        M.add_var m ~kind:M.Integer ~ub:(Q.of_int 6) (Printf.sprintf "x%d" i))
+  in
+  List.iter
+    (fun (cs, s, b) ->
+      let e = E.sum (List.mapi (fun i c -> E.iterm c xs.(i)) cs) in
+      let sense = match s with 0 -> M.Le | 1 -> M.Ge | _ -> M.Eq in
+      M.add_constr m e sense (E.of_int b))
+    rows;
+  M.set_objective m
+    (if maximize then `Maximize else `Minimize)
+    (E.sum (List.mapi (fun i c -> E.iterm c xs.(i)) obj));
+  m
+
+let prop_presolve_preserves_optimum =
+  QCheck.Test.make ~name:"presolve preserves the ILP optimum" ~count:120 arb_ilp
+    (fun spec ->
+      (* solve with branch-and-bound's own presolve off, so the only
+         difference between the two runs is the explicit Presolve.run *)
+      let options = { BB.default_options with BB.presolve = false } in
+      let original = build_ilp spec in
+      let r1 = BB.solve ~options original in
+      let presolved = build_ilp spec in
+      match Lp.Presolve.run presolved with
+      | Lp.Presolve.Proved_infeasible -> r1.BB.status = BB.Infeasible
+      | Lp.Presolve.Ok _ -> begin
+        let r2 = BB.solve ~options presolved in
+        match (r1.BB.status, r2.BB.status) with
+        | BB.Optimal, BB.Optimal -> begin
+          match (r1.BB.objective, r2.BB.objective) with
+          | Some o1, Some o2 -> Float.abs (o1 -. o2) < 1e-6
+          | _ -> false
+        end
+        | s1, s2 -> s1 = s2
+      end)
 
 (* ---------- Branch and bound ---------- *)
 
@@ -416,6 +488,7 @@ let () =
           Alcotest.test_case "integer rounding" `Quick test_presolve_integer_rounding;
           Alcotest.test_case "proves infeasible" `Quick test_presolve_infeasible;
         ] );
+      ("presolve-props", qsuite [ prop_presolve_preserves_optimum ]);
       ( "branch-bound",
         [
           Alcotest.test_case "knapsack" `Quick test_bb_knapsack;
