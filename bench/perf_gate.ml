@@ -1,9 +1,12 @@
 (* CI perf gate over `bench/main.exe table2 --json` artifacts.
 
      perf_gate BASELINE.json CURRENT.json
+     perf_gate --same A.json B.json
 
    Compares the current run against the checked-in baseline and exits
-   nonzero on regression. The rules, and why each is machine-independent:
+   nonzero on regression; every check runs (a readable per-check report
+   plus a solver-counter diff table), not just the first mismatch. The
+   rules, and why each is machine-independent:
 
    - per table-2 case, `ours.fixed_minutes` and `ours.weighted` must not
      exceed the baseline's: the heuristic path is deterministic, so any
@@ -20,9 +23,28 @@
      machines would be flaky, but the layer solver only ever accepts
      strict improvements over the heuristic, so "no worse than the
      deterministic heuristic" holds on any machine;
+   - warm starts must be alive: `lp.bb.warm_hits` > 0 whenever the
+     baseline has any, and the warm-hit *rate*
+     hits / (hits + fallbacks) must be at least half the baseline's rate.
+     The rate is a ratio, so it is machine-independent; absolute hit
+     counts scale with how many nodes fit the budget and are not compared.
+     Halving the baseline rate means the dual re-solve path is going stale
+     on models it used to repair — a real solver regression;
+   - node throughput: the mean of the `lp.bb.nodes_per_sec` histogram must
+     be at least 1/4 of the baseline's. This is the one machine-dependent
+     check, hence the wide 4x tolerance: CI machines are slower than dev
+     machines, but the regressions this exists to catch (e.g. a dual ratio
+     test that re-prices per bound flip) are order-of-magnitude;
    - presolve must have fired: `lp.presolve.rows_removed` and
      `lp.presolve.cols_fixed` nonzero in the current telemetry;
    - wall-clock fields are ignored entirely.
+
+   `--same A.json B.json` is the domain-count determinism gate: it deep
+   compares the two artifacts' `cases` and `ilp` sections — the solver
+   results — ignoring the timing fields (`runtime_seconds`, `exe_time`,
+   `wall_seconds`) and the `meta`/`telemetry` sections (wall times, node
+   counts and the work split between domains are scheduling noise). CI
+   runs the bench at --ilp-domains 1 and 4 and requires identical results.
 
    The baseline is regenerated with:
      dune exec bench/main.exe -- table2 --json bench/baseline.json
@@ -153,6 +175,7 @@ let member key = function
   | _ -> Null
 
 let as_int = function Num f -> int_of_float f | _ -> 0
+let as_float = function Num f -> f | _ -> 0.0
 let as_str = function Str s -> s | _ -> ""
 let as_list = function Arr l -> l | _ -> []
 
@@ -165,6 +188,15 @@ let counter doc name =
     | c :: rest -> if as_str (member "name" c) = name then as_int (member "value" c) else find rest
   in
   find (as_list (member "counters" (member "telemetry" doc)))
+
+let hist_mean doc name =
+  let rec find = function
+    | [] -> 0.0
+    | h :: rest ->
+      if as_str (member "name" h) = name then as_float (member "mean" h)
+      else find rest
+  in
+  find (as_list (member "histograms" (member "telemetry" doc)))
 
 let load path =
   let ic = open_in_bin path in
@@ -191,12 +223,72 @@ let check ok fmt =
       end)
     fmt
 
+(* ------------------------------------------------------- --same mode *)
+
+(* Deep structural diff of the solver-result sections, with timing fields
+   masked out. Reports every difference with its JSON path. *)
+let timing_field = function
+  | "runtime_seconds" | "exe_time" | "wall_seconds" -> true
+  | _ -> false
+
+let rec diff_json path a b diffs =
+  match (a, b) with
+  | Obj fa, Obj fb ->
+    let keys =
+      List.sort_uniq compare (List.map fst fa @ List.map fst fb)
+    in
+    List.fold_left
+      (fun acc k ->
+        if timing_field k then acc
+        else
+          diff_json (path ^ "." ^ k) (member k (Obj fa)) (member k (Obj fb)) acc)
+      diffs keys
+  | Arr xa, Arr xb when List.length xa = List.length xb ->
+    let rec go i xs ys acc =
+      match (xs, ys) with
+      | x :: xs', y :: ys' ->
+        go (i + 1) xs' ys' (diff_json (Printf.sprintf "%s[%d]" path i) x y acc)
+      | _, _ -> acc
+    in
+    go 0 xa xb diffs
+  | Arr xa, Arr xb ->
+    (Printf.sprintf "%s: array length %d vs %d" path (List.length xa)
+       (List.length xb))
+    :: diffs
+  | _ ->
+    let rec show = function
+      | Null -> "null"
+      | Bool b -> string_of_bool b
+      | Num f -> Printf.sprintf "%g" f
+      | Str s -> Printf.sprintf "%S" s
+      | Arr l -> Printf.sprintf "[%s]" (String.concat "," (List.map show l))
+      | Obj _ -> "{...}"
+    in
+    if a = b then diffs else Printf.sprintf "%s: %s vs %s" path (show a) (show b) :: diffs
+
+let same_mode path_a path_b =
+  let a = load path_a and b = load path_b in
+  let pick doc = Obj [ ("cases", member "cases" doc); ("ilp", member "ilp" doc) ] in
+  let diffs = List.rev (diff_json "$" (pick a) (pick b) []) in
+  if diffs = [] then begin
+    Printf.printf "same: %s and %s agree on all solver results\n" path_a path_b;
+    exit 0
+  end
+  else begin
+    Printf.printf "same: %d difference(s) between %s and %s:\n"
+      (List.length diffs) path_a path_b;
+    List.iter (fun d -> Printf.printf "  %s\n" d) diffs;
+    exit 1
+  end
+
 let () =
   let baseline_path, current_path =
     match Sys.argv with
+    | [| _; "--same"; a; b |] -> same_mode a b
     | [| _; b; c |] -> (b, c)
     | _ ->
-      prerr_endline "usage: perf_gate BASELINE.json CURRENT.json";
+      prerr_endline
+        "usage: perf_gate BASELINE.json CURRENT.json | perf_gate --same A.json B.json";
       exit 2
   in
   let baseline = load baseline_path in
@@ -231,6 +323,56 @@ let () =
   let cols_fixed = counter current "lp.presolve.cols_fixed" in
   check (rows_removed > 0) "presolve removed rows (%d)" rows_removed;
   check (cols_fixed > 0) "presolve fixed columns (%d)" cols_fixed;
+  (* Solver-counter diff table: context for the checks below, printed for
+     every run so a failure report is self-contained. *)
+  let diff_counters =
+    [
+      "lp.bb.nodes";
+      "lp.bb.warm_hits";
+      "lp.bb.warm_fallbacks";
+      "lp.bb.steals";
+      "lp.bb.pruned_by_bound";
+      "lp.simplex.warm_solves";
+      "lp.simplex.dual_pivots";
+      "lp.simplex.bound_flips";
+      "lp.simplex.deadline_aborts";
+    ]
+  in
+  Printf.printf "\n%-32s %12s %12s %8s\n" "counter" "baseline" "current" "ratio";
+  Printf.printf "%s\n" (String.make 68 '-');
+  List.iter
+    (fun name ->
+      let b = counter baseline name and c = counter current name in
+      let ratio =
+        if b = 0 then (if c = 0 then "-" else "new")
+        else Printf.sprintf "%.2f" (float_of_int c /. float_of_int b)
+      in
+      Printf.printf "%-32s %12d %12d %8s\n" name b c ratio)
+    diff_counters;
+  Printf.printf "\n";
+  (* Warm-start health: rate is machine-independent; see header. *)
+  let rate doc =
+    let h = counter doc "lp.bb.warm_hits" in
+    let f = counter doc "lp.bb.warm_fallbacks" in
+    if h + f = 0 then 0.0 else float_of_int h /. float_of_int (h + f)
+  in
+  let base_hits = counter baseline "lp.bb.warm_hits" in
+  if base_hits > 0 then begin
+    let cur_hits = counter current "lp.bb.warm_hits" in
+    check (cur_hits > 0) "warm starts alive (hits %d)" cur_hits;
+    let br = rate baseline and cr = rate current in
+    check
+      (cr >= 0.5 *. br)
+      "warm-hit rate %.3f >= half of baseline %.3f" cr br
+  end;
+  (* Node throughput: machine-dependent, wide 4x tolerance; see header. *)
+  let base_nps = hist_mean baseline "lp.bb.nodes_per_sec" in
+  if base_nps > 0.0 then begin
+    let cur_nps = hist_mean current "lp.bb.nodes_per_sec" in
+    check
+      (cur_nps >= 0.25 *. base_nps)
+      "nodes/sec %.1f >= 1/4 of baseline %.1f" cur_nps base_nps
+  end;
   if !failures > 0 then begin
     Printf.printf "\nperf gate: %d check(s) failed\n" !failures;
     exit 1

@@ -69,6 +69,13 @@ let ilp_seconds_arg =
   let doc = "Per-layer ILP time limit in seconds." in
   Arg.(value & opt float 10.0 & info [ "ilp-seconds" ] ~doc)
 
+let ilp_domains_arg =
+  let doc =
+    "Worker domains for the parallel branch-and-bound tree search (0 = \
+     auto: min 4 (cpus-1))."
+  in
+  Arg.(value & opt int 0 & info [ "ilp-domains" ] ~docv:"N" ~doc)
+
 let schedule_arg =
   let doc = "Print the full schedule, not just the summary." in
   Arg.(value & flag & info [ "schedule" ] ~doc)
@@ -100,7 +107,8 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds =
+let config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds
+    ~ilp_domains =
   let engine =
     if ilp then
       Cohls.Layer_solver.Ilp
@@ -109,6 +117,10 @@ let config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds =
             {
               Lp.Branch_bound.default_options with
               Lp.Branch_bound.time_limit = Some ilp_seconds;
+              domains =
+                (if ilp_domains <= 0 then
+                   Lp.Branch_bound.default_options.Lp.Branch_bound.domains
+                 else ilp_domains);
             };
           extra_free_slots = 1;
         }
@@ -160,12 +172,15 @@ let with_trace trace f =
     Format.printf "wrote %s@." path;
     result
 
-let synth case file rule threshold devices iterations ilp ilp_seconds schedule gantt
-    control physical dot csv trace =
+let synth case file rule threshold devices iterations ilp ilp_seconds
+    ilp_domains schedule gantt control physical dot csv trace =
   handle_result
     (let ( let* ) = Result.bind in
      let* assay = assay_of ~case ~file in
-     let config = config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds in
+     let config =
+       config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds
+         ~ilp_domains
+     in
      let run () =
        let r = Syn.run ~config assay in
        Format.printf "%a@." Cohls.Report.schedule_summary r;
@@ -208,8 +223,9 @@ let synth_cmd =
     Term.(
       ret
         (const synth $ case_arg $ file_arg $ rule_arg $ threshold_arg $ devices_arg
-         $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ schedule_arg $ gantt_arg
-         $ control_arg $ physical_arg $ dot_arg $ csv_arg $ trace_arg))
+         $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ ilp_domains_arg
+         $ schedule_arg $ gantt_arg $ control_arg $ physical_arg $ dot_arg
+         $ csv_arg $ trace_arg))
 
 (* ---------- fault-injection options (stats, simulate) ---------- *)
 
@@ -239,13 +255,16 @@ let stats_json_arg =
   let doc = "Write the solver-statistics report as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
-let stats case file rule threshold devices iterations ilp ilp_seconds json trace
-    fault_seed fault_rate =
+let stats case file rule threshold devices iterations ilp ilp_seconds
+    ilp_domains json trace fault_seed fault_rate =
   handle_result
     (let ( let* ) = Result.bind in
      let* assay = assay_of ~case ~file in
      let* plan = fault_plan ~fault_seed ~fault_rate in
-     let config = config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds in
+     let config =
+       config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds
+         ~ilp_domains
+     in
      catch_no_device ~devices (fun () ->
        let ( let* ) = Result.bind in
        Telemetry.enable ();
@@ -300,8 +319,8 @@ let stats_cmd =
     Term.(
       ret
         (const stats $ case_arg $ file_arg $ rule_arg $ threshold_arg $ devices_arg
-         $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ stats_json_arg $ trace_arg
-         $ fault_seed_arg $ fault_rate_arg))
+         $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ ilp_domains_arg
+         $ stats_json_arg $ trace_arg $ fault_seed_arg $ fault_rate_arg))
 
 (* ---------- layering ---------- *)
 
@@ -392,13 +411,17 @@ let print_outcome ~baseline (o : Cohls.Recovery.outcome) =
       | Error e -> Format.printf "recovered schedule %d INVALID: %s@." (i + 1) e)
     o.Cohls.Recovery.recovered_schedules
 
-let simulate case file rule threshold devices iterations ilp ilp_seconds seed
-    max_extra fault_seed fault_rate allow_new_devices show_stats =
+let simulate case file rule threshold devices iterations ilp ilp_seconds
+    ilp_domains seed max_extra fault_seed fault_rate allow_new_devices
+    show_stats =
   handle_result
     (let ( let* ) = Result.bind in
      let* assay = assay_of ~case ~file in
      let* plan = fault_plan ~fault_seed ~fault_rate in
-     let config = config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds in
+     let config =
+       config_of ~rule ~threshold ~devices ~iterations ~ilp ~ilp_seconds
+         ~ilp_domains
+     in
      catch_no_device ~devices (fun () ->
        if show_stats then begin
          Telemetry.enable ();
@@ -464,9 +487,9 @@ let simulate_cmd =
     Term.(
       ret
         (const simulate $ case_arg $ file_arg $ rule_arg $ threshold_arg
-         $ devices_arg $ iterations_arg $ ilp_arg $ ilp_seconds_arg $ sim_seed_arg
-         $ max_extra_arg $ fault_seed_arg $ sim_rate_arg $ allow_new_devices_arg
-         $ sim_stats_arg))
+         $ devices_arg $ iterations_arg $ ilp_arg $ ilp_seconds_arg
+         $ ilp_domains_arg $ sim_seed_arg $ max_extra_arg $ fault_seed_arg
+         $ sim_rate_arg $ allow_new_devices_arg $ sim_stats_arg))
 
 (* ---------- compare ---------- *)
 

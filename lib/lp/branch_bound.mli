@@ -6,7 +6,26 @@
     which seeds the search with a greedy list schedule), wall-clock time
     limits and node limits, making it an *anytime* solver like the paper's
     Gurobi runs. Candidate incumbents are re-checked against the model at
-    tolerance before acceptance. *)
+    tolerance before acceptance.
+
+    Each node re-solves its relaxation warm: it inherits the parent's
+    simplex basis (a {!Simplex.basis} cell, copied on branching) and the
+    bound change of the branch is repaired by a dual-simplex phase, falling
+    back to a cold primal solve when the warm solve goes stale
+    ([lp.bb.warm_hits] / [lp.bb.warm_fallbacks] count the split).
+
+    The search runs on [options.domains] OCaml domains with per-domain
+    work-stealing deques ([lp.bb.steals]) and a shared atomic incumbent.
+    Results are deterministic regardless of domain count: when optimality
+    is proved, the reported solution is re-derived by a fixed-order
+    sequential dive bounded by the proven objective, so equal runs return
+    byte-identical values; budget-stopped runs report the best incumbent
+    found (deterministically tie-broken on equal objectives, but which
+    incumbents were *reached* under a budget is timing-dependent — such
+    results are best-effort by nature). When byte-stable budget-stopped
+    results are required, [options.deterministic] trades the work-stealing
+    pool for a synchronous-wave search whose outcome depends only on the
+    node budget. *)
 
 type status =
   | Optimal  (** search space exhausted; incumbent is proved optimal *)
@@ -31,14 +50,38 @@ type options = {
   presolve : bool;  (** run {!Presolve} at the root, default [true] *)
   int_objective : bool;
       (** the objective only takes integer values on integer solutions:
-          prune nodes whose relaxation bound is within 1 of the incumbent,
-          default [false] *)
+          prune nodes whose relaxation bound is within [int_obj_step] of the
+          incumbent, default [false] *)
+  int_obj_step : float;
+      (** granularity of the objective on integer solutions (the gcd of the
+          objective coefficients), default [1.0]; only read when
+          [int_objective] is set *)
   log : bool;
+  domains : int;
+      (** worker domains for the parallel tree search, default
+          [max 1 (min 4 (Domain.recommended_domain_count () - 1))]; [1]
+          runs the whole search on the calling domain *)
+  deterministic : bool;
+      (** default [false]: work-stealing search, fastest but — under a
+          budget — the set of explored nodes depends on timing. [true]
+          switches to a synchronous-wave search: one global node stack,
+          fixed-width waves of relaxations solved by up to [domains]
+          workers, all shared-state updates applied at the wave barrier in
+          stack order (the wave width is a constant so the explored tree
+          depends only on the node budget, never on [domains]).
+          Results (status, objective, values, nodes) are then
+          byte-identical across domain counts even when stopped by
+          [node_limit] — pair it with a node budget, not a wall-clock one,
+          for machine-independent artifacts (the benchmark JSON the CI
+          determinism gate diffs is produced this way) *)
 }
 
 val default_options : options
 
 val solve : ?options:options -> ?warm_start:float array -> Model.t -> result
-(** The model's variable bounds are mutated during the search but restored
-    before returning (except for root presolve tightenings, which are kept:
-    they are valid for the model). *)
+(** The model is never mutated during the search: each node carries an
+    immutable bound overlay (handed to the relaxation solver via
+    [Simplex.solve_relaxation_float ~bounds]), which is what makes nodes
+    safe to process on any domain concurrently. The only mutation is root
+    presolve (before the search starts), whose tightenings are kept: they
+    are valid for the model. *)

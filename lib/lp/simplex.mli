@@ -4,7 +4,13 @@
     objective) into the standard form expected by {!Tableau} — shifting
     lower-bounded variables, splitting free ones, adding upper-bound rows
     and slack/surplus columns — and maps the solution back to model
-    variables. Integrality is ignored here; {!Branch_bound} adds it. *)
+    variables. Integrality is ignored here; {!Branch_bound} adds it.
+
+    For branch-and-bound the translation can be reused across nodes: a
+    {!basis} cell carries the translated standard form plus the final basis
+    of the last [Optimal] solve, and a subsequent solve holding the cell is
+    warm-started with a dual-simplex re-solve ({!Tableau.Make}
+    [.resolve_with_basis]) instead of a cold two-phase solve. *)
 
 type 'num outcome =
   | Optimal of { objective : 'num; values : 'num array }
@@ -13,13 +19,46 @@ type 'num outcome =
   | Infeasible
   | Unbounded
 
+type basis
+(** In/out warm-start cell for {!solve_relaxation_float}: after an
+    [Optimal] solve it holds the translated standard form and the final
+    simplex basis; passed to a later solve of the same model under changed
+    bounds it triggers a dual-simplex warm re-solve (falling back to a cold
+    solve — and refreshing the cell — when the inherited basis is stale or
+    the bound change cannot be expressed in the prepared column space).
+    Cells are single-threaded: share them across domains only via
+    {!copy_basis}. *)
+
+val new_basis : unit -> basis
+(** A fresh, empty cell; the first solve holding it fills it. *)
+
+val copy_basis : basis -> basis
+(** An independent cell with the same contents — the copy-on-branch step of
+    branch-and-bound (the snapshot and prepared form inside are immutable
+    and shared; only the cell itself is fresh). *)
+
 val solve_relaxation_float :
-  ?max_iters:int -> ?deadline:float -> Model.t -> float outcome
+  ?max_iters:int ->
+  ?deadline:float ->
+  ?bounds:(Numeric.Rat.t option * Numeric.Rat.t option) array ->
+  ?basis:basis ->
+  Model.t ->
+  float outcome
 (** Floating-point simplex; fast, tolerance [1e-9]. [deadline] is an
     absolute {!Telemetry.Clock} time; when it passes mid-solve
-    {!Tableau.Deadline_exceeded} is raised. *)
+    {!Tableau.Deadline_exceeded} is raised. [bounds], when given, overrides
+    every variable's bounds (indexed by model variable id; length must be
+    [Model.var_count]) without touching the model — the bound-overlay used
+    by the multi-domain branch-and-bound, whose nodes must not mutate the
+    shared model. [basis] enables dual-simplex warm starts as described on
+    {!basis}; warm outcomes are counted under [lp.bb.warm_hits] /
+    [lp.bb.warm_fallbacks]. *)
 
 val solve_relaxation_exact :
-  ?max_iters:int -> ?deadline:float -> Model.t -> Numeric.Rat.t outcome
+  ?max_iters:int ->
+  ?deadline:float ->
+  ?bounds:(Numeric.Rat.t option * Numeric.Rat.t option) array ->
+  Model.t ->
+  Numeric.Rat.t outcome
 (** Exact rational simplex; bit-exact but slower. Intended for small models
     and for verifying candidate optima in tests. *)

@@ -5,6 +5,20 @@ type 'num result =
 
 exception Deadline_exceeded
 
+(* A basis snapshot is field-independent (which columns are basic and which
+   nonbasic columns rest at their upper bound), so it is shared between the
+   functorised kernel and the float-specialised {!Tableau_float}: a parent
+   node's snapshot from either kernel can warm-start a re-solve. *)
+type snapshot = { s_basis : int array; s_at_ub : bool array }
+
+type 'num resolve =
+  | Resolved of 'num result * snapshot option
+      (** the inherited basis was repaired in place; the new snapshot is
+          present whenever the re-solve ended [Optimal] *)
+  | Stale of string
+      (** the warm solve cycled, went singular or lost numerical accuracy —
+          the caller should fall back to a cold primal solve *)
+
 module Make (F : Field.S) = struct
   (* Sparse revised two-phase bounded-variable simplex.
 
@@ -258,7 +272,13 @@ module Make (F : Field.S) = struct
       Array.iter (fun (i, a) -> s := F.sub !s (F.mul a y.(i))) st.cols.(j);
       !s
     in
-    let eligible j d = if st.at_ub.(j) then gt d F.zero else lt d F.zero in
+    (* Zero-span columns (variables fixed by a branching bound change in a
+       warm re-solve) can neither step nor flip: entering one would loop on
+       zero-length bound flips, so they are never eligible. *)
+    let eligible j d =
+      (match st.ubs.(j) with Some u -> gt u F.zero | None -> true)
+      && if st.at_ub.(j) then gt d F.zero else lt d F.zero
+    in
     let chosen =
       if bland then begin
         let rec go j =
@@ -441,7 +461,391 @@ module Make (F : Field.S) = struct
       end
     done
 
-  let solve_cols ?(max_iters = 50_000) ?deadline ?ubs ~nrows:m ~cols ~b ~c () =
+  (* Dual simplex: restore primal feasibility of an inherited basis after the
+     rhs / bound changes of a branch-and-bound child node, without giving up
+     the parent's dual feasibility (the reduced-cost sign pattern depends only
+     on the basis and the costs, neither of which branching touches).
+
+     Bound-ratio pricing picks the leaving row — the basic variable with the
+     largest bound violation, scaled by its static column norm, mirroring the
+     primal's steepest-edge-lite rule — and the ratio test runs over the eta
+     file: one BTRAN for the pivot row of B^-1, one for the simplex
+     multipliers, then a sweep of the nonbasic structural columns collecting
+     every sign-eligible entry with its ratio |d_j| / |alpha_rj|.
+
+     The ratio test is the bound-flipping ("long step") variant: candidates
+     are walked in ratio order and a boxed candidate whose span cannot absorb
+     the remaining violation is flipped to its other bound — its reduced cost
+     changes sign past the breakpoint, which is only dual feasible at the
+     opposite bound — while the violation slope shrinks by span * |alpha_rj|;
+     the first candidate that covers the residual violation pivots. All flips
+     of one iteration are applied with a single accumulated FTRAN, so a
+     flip-heavy repair costs one pricing round instead of one per flip (the
+     naive variant hit ~800 full reprices per warm solve on the paper's
+     case 1).
+
+     Artificial columns are pinned to [0, 0] here: the parent solve left them
+     at zero, and a nonzero artificial under the child's rhs is precisely an
+     equality-row violation the dual steps must repair. Artificials are never
+     priced back in; if no eligible entering column exists the row is a valid
+     infeasibility certificate, as trustworthy as the primal phase-1 test. *)
+  let dual_phase st ~c ~max_iters ~iter_count ~deadline ~dual_pivots ~flips
+      ~refactorisations alpha =
+    let refactor_limit = min 150 (50 + (st.m / 4)) in
+    let y = Array.make st.m F.zero in
+    let rho = Array.make st.m F.zero in
+    let delta = Array.make st.m F.zero in
+    let cand = Array.make (max 1 st.n) 0 in
+    let cand_ratio = Array.make (max 1 st.n) F.zero in
+    let cand_arj = Array.make (max 1 st.n) F.zero in
+    let hi_of bv = if bv < st.n then st.ubs.(bv) else Some F.zero in
+    let rec loop () =
+      if !iter_count > max_iters then `Cycled
+      else begin
+        (match deadline with
+         | Some t when !iter_count land 15 = 0 && Telemetry.Clock.now_s () > t ->
+           Telemetry.count "lp.simplex.deadline_aborts";
+           raise Deadline_exceeded
+         | Some _ | None -> ());
+        incr iter_count;
+        if st.n_etas - st.factor_etas > refactor_limit then
+          refactor st refactorisations;
+        (* Bound-ratio pricing of the infeasible basic variables. *)
+        let row = ref (-1) and score = ref 0.0 and above = ref false in
+        for i = 0 to st.m - 1 do
+          let bv = st.basis.(i) in
+          let viol, ab =
+            if lt st.x_b.(i) F.zero then (F.neg st.x_b.(i), false)
+            else
+              match hi_of bv with
+              | Some h when gt st.x_b.(i) h -> (F.sub st.x_b.(i) h, true)
+              | Some _ | None -> (F.zero, false)
+          in
+          if gt viol F.zero then begin
+            let w = if bv < st.n then st.weight.(bv) else 2.0 in
+            let v = F.to_float viol in
+            let s = v *. v /. w in
+            if s > !score then begin
+              row := i;
+              score := s;
+              above := ab
+            end
+          end
+        done;
+        if !row < 0 then `Primal_feasible
+        else begin
+          let r = !row in
+          let leaving = st.basis.(r) in
+          Array.fill rho 0 st.m F.zero;
+          rho.(r) <- F.one;
+          btran st rho;
+          for i = 0 to st.m - 1 do
+            let bv = st.basis.(i) in
+            y.(i) <- (if bv < st.n then c.(bv) else F.zero)
+          done;
+          btran st y;
+          (* Collect every sign-eligible nonbasic structural column with its
+             dual ratio |d_j| / |alpha_rj|. *)
+          let ncand = ref 0 in
+          for j = 0 to st.n - 1 do
+            let movable =
+              match st.ubs.(j) with Some u -> gt u F.zero | None -> true
+            in
+            if st.pos.(j) < 0 && movable then begin
+              let arj = ref F.zero and dj = ref c.(j) in
+              Array.iter
+                (fun (i, a) ->
+                  arj := F.add !arj (F.mul a rho.(i));
+                  dj := F.sub !dj (F.mul a y.(i)))
+                st.cols.(j);
+              let arj = !arj in
+              let eligible =
+                if !above then
+                  if st.at_ub.(j) then lt arj F.zero else gt arj F.zero
+                else if st.at_ub.(j) then gt arj F.zero
+                else lt arj F.zero
+              in
+              if eligible then begin
+                cand.(!ncand) <- j;
+                cand_ratio.(!ncand) <- F.div (F.abs !dj) (F.abs arj);
+                cand_arj.(!ncand) <- arj;
+                incr ncand
+              end
+            end
+          done;
+          if !ncand = 0 then `Dual_unbounded
+          else begin
+            (* Bound-flipping ratio test: walk the candidates in ratio order.
+               Passing a boxed candidate's breakpoint flips it to its other
+               bound (its reduced cost changes sign there, which is only dual
+               feasible at the opposite bound) and reduces the violation
+               slope by span * |alpha_rj|; the candidate where the slope
+               would hit zero becomes the pivot. Exhausting all breakpoints
+               with slope remaining is dual unboundedness, i.e. primal
+               infeasibility. *)
+            let order = Array.init !ncand Fun.id in
+            Array.sort
+              (fun a b ->
+                let cr = F.compare cand_ratio.(a) cand_ratio.(b) in
+                if cr <> 0 then cr
+                else
+                  let cm =
+                    Float.compare
+                      (Float.abs (F.to_float cand_arj.(b)))
+                      (Float.abs (F.to_float cand_arj.(a)))
+                  in
+                  if cm <> 0 then cm else compare cand.(a) cand.(b))
+              order;
+            let target =
+              if !above then
+                match hi_of leaving with Some h -> h | None -> F.zero
+              else F.zero
+            in
+            let viol = ref (F.abs (F.sub st.x_b.(r) target)) in
+            let nflip = ref 0 in
+            let enter = ref (-1) in
+            let k = ref 0 in
+            while !enter < 0 && !k < !ncand do
+              let ci = order.(!k) in
+              let j = cand.(ci) in
+              let flip =
+                match st.ubs.(j) with
+                | None -> false
+                | Some u ->
+                  let drop = F.mul u (F.abs cand_arj.(ci)) in
+                  lt drop !viol
+              in
+              if flip then begin
+                (* flip past this breakpoint, keep walking *)
+                order.(!nflip) <- ci;
+                incr nflip;
+                let u =
+                  match st.ubs.(j) with Some u -> u | None -> F.zero
+                in
+                viol := F.sub !viol (F.mul u (F.abs cand_arj.(ci)))
+              end
+              else enter := j;
+              incr k
+            done;
+            if !enter < 0 then `Dual_unbounded
+            else begin
+              (* Apply the accumulated flips with one FTRAN: the raw flipped
+                 columns sum into [delta] and x_B -= B^-1 delta. *)
+              if !nflip > 0 then begin
+                Array.fill delta 0 st.m F.zero;
+                for f = 0 to !nflip - 1 do
+                  let j = cand.(order.(f)) in
+                  let u =
+                    match st.ubs.(j) with Some u -> u | None -> F.zero
+                  in
+                  let fstep = if st.at_ub.(j) then F.neg u else u in
+                  Array.iter
+                    (fun (i, a) ->
+                      delta.(i) <- F.add delta.(i) (F.mul fstep a))
+                    st.cols.(j);
+                  st.at_ub.(j) <- not st.at_ub.(j);
+                  incr flips
+                done;
+                ftran st delta;
+                for i = 0 to st.m - 1 do
+                  if not (F.is_zero delta.(i)) then
+                    st.x_b.(i) <- clamp (F.sub st.x_b.(i) delta.(i))
+                done
+              end;
+              let j = !enter in
+              Array.fill alpha 0 st.m F.zero;
+              scatter st j alpha;
+              ftran st alpha;
+              let arj = alpha.(r) in
+              if F.is_zero arj then `Numerical
+              else begin
+                let step = F.div (F.sub st.x_b.(r) target) arj in
+                (* the pricing row (from BTRAN of e_r) and the FTRAN'd column
+                   must agree on the step direction, and after the flips the
+                   step must fit the entering span; drift on either means the
+                   eta file has gone numerically stale *)
+                let dir_ok =
+                  if st.at_ub.(j) then not (gt step F.zero)
+                  else not (lt step F.zero)
+                in
+                let crosses =
+                  match st.ubs.(j) with
+                  | Some u -> gt (F.abs step) u
+                  | None -> false
+                in
+                if (not dir_ok) || crosses then `Numerical
+                else begin
+                  let enter_val =
+                    if st.at_ub.(j) then
+                      match st.ubs.(j) with Some u -> u | None -> F.zero
+                    else F.zero
+                  in
+                  pivot st ~row:r ~col:j ~t:step ~dir:F.one ~enter_val alpha;
+                  st.at_ub.(j) <- false;
+                  if leaving < st.n then st.at_ub.(leaving) <- !above;
+                  incr dual_pivots;
+                  loop ()
+                end
+              end
+            end
+          end
+        end
+      end
+    in
+    loop ()
+
+  let resolve_with_basis ?(max_iters = 50_000) ?deadline ~nrows:m ~cols ~b ~c
+      ~ubs ~snapshot () =
+    let n = Array.length cols in
+    if Array.length b <> m then invalid_arg "Tableau.resolve: b length";
+    if Array.length c <> n then invalid_arg "Tableau.resolve: c length";
+    if Array.length ubs <> n then invalid_arg "Tableau.resolve: ubs length";
+    if Array.length snapshot.s_basis <> m || Array.length snapshot.s_at_ub <> n
+    then invalid_arg "Tableau.resolve: snapshot shape";
+    (* An empty span means the node fixed a variable to an impossible range:
+       the subproblem is infeasible before any pivoting. *)
+    if Array.exists (function Some u -> lt u F.zero | None -> false) ubs then
+      Resolved (Infeasible, None)
+    else begin
+      let weight =
+        Array.map
+          (fun col ->
+            Array.fold_left
+              (fun acc (_, a) ->
+                let x = F.to_float a in
+                acc +. (x *. x))
+              1.0 col)
+          cols
+      in
+      let basis = Array.copy snapshot.s_basis in
+      let at_ub = Array.copy snapshot.s_at_ub in
+      let pos = Array.make (n + m) (-1) in
+      let sane = ref true in
+      Array.iteri
+        (fun i colid ->
+          if colid < 0 || colid >= n + m || pos.(colid) >= 0 then sane := false
+          else pos.(colid) <- i)
+        basis;
+      for j = 0 to n - 1 do
+        if at_ub.(j) && (pos.(j) >= 0 || ubs.(j) = None) then at_ub.(j) <- false
+      done;
+      if not !sane then Stale "corrupt basis snapshot"
+      else begin
+        let st =
+          {
+            m;
+            n;
+            cols;
+            ubs;
+            at_ub;
+            weight;
+            basis;
+            pos;
+            x_b = Array.make m F.zero;
+            b = Array.copy b;
+            etas = [||];
+            n_etas = 0;
+            factor_etas = 0;
+          }
+        in
+        let pivots = ref 0
+        and bland_pivots = ref 0
+        and flips = ref 0
+        and dual_pivots = ref 0
+        and refactorisations = ref 0 in
+        let flush () =
+          Telemetry.count "lp.simplex.warm_solves";
+          Telemetry.count ~by:!pivots "lp.simplex.pivots";
+          Telemetry.count ~by:!dual_pivots "lp.simplex.dual_pivots";
+          Telemetry.count ~by:!bland_pivots "lp.simplex.bland_pivots";
+          Telemetry.count ~by:!flips "lp.simplex.bound_flips";
+          Telemetry.count ~by:!refactorisations "lp.simplex.refactorisations"
+        in
+        Fun.protect ~finally:flush @@ fun () ->
+        let iter_count = ref 0 in
+        let alpha = Array.make m F.zero in
+        match
+          (try
+             refactor st refactorisations;
+             dual_phase st ~c ~max_iters ~iter_count ~deadline ~dual_pivots
+               ~flips ~refactorisations alpha
+           with Failure msg -> `Failed msg)
+        with
+        | `Failed msg -> Stale msg
+        | `Cycled -> Stale "dual iteration limit"
+        | `Numerical -> Stale "dual numerical drift"
+        | `Dual_unbounded -> Resolved (Infeasible, None)
+        | `Primal_feasible -> (
+          (* Primal clean-up: the dual phase ends primal feasible, and any
+             residual dual infeasibility (e.g. a nonbasic variable whose rest
+             bound flipped) is polished off by ordinary phase-2 pivots. *)
+          let c2 j = if j < n then c.(j) else F.zero in
+          match
+            (try
+               run_phase st ~c_of:c2 ~phase2:true ~max_iters ~iter_count
+                 ~deadline ~pivots ~bland_pivots ~flips ~refactorisations alpha
+             with Failure msg -> `Failed msg)
+          with
+          | `Failed msg -> Stale msg
+          | `Unbounded -> Resolved (Unbounded, None)
+          | `Optimal ->
+            (* Accuracy cross-check before trusting the inherited basis: the
+               resolved point must satisfy the bound system and A x = b. *)
+            let tol = 1e-7 in
+            let x = Array.make n F.zero in
+            for j = 0 to n - 1 do
+              if st.pos.(j) < 0 && st.at_ub.(j) then
+                x.(j) <- (match st.ubs.(j) with Some u -> u | None -> F.zero)
+            done;
+            let ok = ref true in
+            for i = 0 to m - 1 do
+              let bv = st.basis.(i) in
+              if bv < n then begin
+                x.(bv) <- st.x_b.(i);
+                if F.to_float st.x_b.(i) < -.tol then ok := false;
+                match st.ubs.(bv) with
+                | Some u ->
+                  if F.to_float (F.sub st.x_b.(i) u) > tol then ok := false
+                | None -> ()
+              end
+              else if Float.abs (F.to_float st.x_b.(i)) > tol then ok := false
+            done;
+            let resid = Array.copy st.b in
+            for j = 0 to n - 1 do
+              let xj = x.(j) in
+              if not (F.is_zero xj) then
+                Array.iter
+                  (fun (i, a) -> resid.(i) <- F.sub resid.(i) (F.mul a xj))
+                  st.cols.(j)
+            done;
+            let scale =
+              Array.fold_left
+                (fun acc bi -> Float.max acc (Float.abs (F.to_float bi)))
+                1.0 st.b
+            in
+            Array.iter
+              (fun ri ->
+                if Float.abs (F.to_float ri) > 1e-6 *. scale then ok := false)
+              resid;
+            if not !ok then Stale "warm solve lost accuracy"
+            else begin
+              let value = ref F.zero in
+              for j = 0 to n - 1 do
+                value := F.add !value (F.mul c.(j) x.(j))
+              done;
+              Resolved
+                ( Optimal (!value, x),
+                  Some
+                    {
+                      s_basis = Array.copy st.basis;
+                      s_at_ub = Array.copy st.at_ub;
+                    } )
+            end)
+      end
+    end
+
+  let solve_cols ?(max_iters = 50_000) ?deadline ?ubs ?snapshot_out ~nrows:m
+      ~cols ~b ~c () =
     let n = Array.length cols in
     if Array.length b <> m then invalid_arg "Tableau.solve: b length";
     if Array.length c <> n then invalid_arg "Tableau.solve: c length";
@@ -565,6 +969,15 @@ module Make (F : Field.S) = struct
           for j = 0 to n - 1 do
             value := F.add !value (F.mul c.(j) x.(j))
           done;
+          (match snapshot_out with
+           | Some cell ->
+             cell :=
+               Some
+                 {
+                   s_basis = Array.copy st.basis;
+                   s_at_ub = Array.copy st.at_ub;
+                 }
+           | None -> ());
           Optimal (!value, x)
       end
 

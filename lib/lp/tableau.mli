@@ -27,11 +27,27 @@ exception Deadline_exceeded
     solve finishes, so time-limited callers are not at the mercy of one
     long-running relaxation. *)
 
+type snapshot = { s_basis : int array; s_at_ub : bool array }
+(** A basis snapshot: which column is basic in each row ([s_basis], entries
+    [>= n] are artificial) and which nonbasic structural columns rest at
+    their upper bound ([s_at_ub]). The snapshot is field-independent, so a
+    parent node's basis from either the functorised or the float kernel can
+    warm-start a re-solve in the other. *)
+
+type 'num resolve =
+  | Resolved of 'num result * snapshot option
+      (** the inherited basis was repaired by the dual simplex; the new
+          snapshot is present whenever the re-solve ended [Optimal] *)
+  | Stale of string
+      (** the warm solve cycled, went singular or lost numerical accuracy —
+          the caller should fall back to a cold primal solve *)
+
 module Make (F : Field.S) : sig
   val solve_cols :
     ?max_iters:int ->
     ?deadline:float ->
     ?ubs:F.t option array ->
+    ?snapshot_out:snapshot option ref ->
     nrows:int ->
     cols:(int * F.t) array array ->
     b:F.t array ->
@@ -49,6 +65,38 @@ module Make (F : Field.S) : sig
       @raise Invalid_argument on shape mismatch, a row index out of range,
       negative [b] entries or a non-positive upper bound.
       @raise Failure if [max_iters] (default [50_000]) pivots are exceeded.
+      @raise Deadline_exceeded if [deadline] passes mid-solve.
+
+      When [snapshot_out] is supplied it is filled with a {!snapshot} of the
+      final basis whenever the solve ends [Optimal], for later reuse through
+      {!resolve_with_basis}. *)
+
+  val resolve_with_basis :
+    ?max_iters:int ->
+    ?deadline:float ->
+    nrows:int ->
+    cols:(int * F.t) array array ->
+    b:F.t array ->
+    c:F.t array ->
+    ubs:F.t option array ->
+    snapshot:snapshot ->
+    unit ->
+    F.t resolve
+  (** Warm re-solve: repair [snapshot] — taken from an optimal solve of a
+      problem with the same columns and costs but different [b] / [ubs]
+      (the rhs shift and span changes of a branch-and-bound child node) —
+      with dual-simplex pivots (bound-ratio pricing of the most infeasible
+      basic variable, dual ratio test over the nonbasic structural columns,
+      bound flips when the entering span is the binding limit), then polish
+      with primal phase-2 pivots. Unlike {!solve_cols}, [b] entries may be
+      negative and [ubs] entries may be zero (a variable fixed by
+      branching). A [Resolved (Infeasible, _)] from an exhausted dual ratio
+      test is a genuine infeasibility certificate. For the approximate
+      field the resolved point is cross-checked against the bound system
+      and [A x = b] before being trusted; any accuracy loss, cycling or
+      singular refactorisation is reported as [Stale] so the caller can
+      fall back to a cold primal solve.
+      @raise Invalid_argument on shape mismatch.
       @raise Deadline_exceeded if [deadline] passes mid-solve. *)
 
   val solve :

@@ -121,6 +121,7 @@ let pivot st ~row ~col ~t ~dir ~enter_val alpha =
 (* See [Tableau.Make.refactor]: identity-like columns first, then dynamic
    row-singleton elimination, then a dense sweep over the residual bump. *)
 let refactor st refactorisations =
+  let rt0 = Telemetry.Clock.now_s () in
   st.n_etas <- 0;
   incr refactorisations;
   let order = Array.copy st.basis in
@@ -230,7 +231,8 @@ let refactor st refactorisations =
   for i = 0 to st.m - 1 do
     st.x_b.(i) <- clamp st.x_b.(i)
   done;
-  st.factor_etas <- st.n_etas
+  st.factor_etas <- st.n_etas;
+  Telemetry.observe "lp.simplex.refactor_s" (Telemetry.Clock.now_s () -. rt0)
 
 (* See [Tableau.Make.entering]; [c_of] is split into the structural cost
    array and the phase flag so the reduced-cost loop stays allocation-free. *)
@@ -251,7 +253,11 @@ let entering st ~c ~phase2 ~bland ~y alpha =
     done;
     !s
   in
-  let eligible j d = if st.at_ub.(j) then d > eps else d < -.eps in
+  (* Zero-span columns (variables fixed by a branching bound change in a
+     warm re-solve) can neither step nor flip, so they never enter. *)
+  let eligible j d =
+    st.ubs.(j) > eps && if st.at_ub.(j) then d > eps else d < -.eps
+  in
   let chosen =
     if bland then begin
       let rec go j =
@@ -409,7 +415,340 @@ let drive_out_artificials st ~pivots =
     end
   done
 
-let solve_cols ?(max_iters = 50_000) ?deadline ?ubs ~nrows:m ~cols ~b ~c () =
+(* See [Tableau.Make.dual_phase]: bound-ratio pricing of the most infeasible
+   basic variable, then a bound-flipping (long-step) dual ratio test over
+   the nonbasic structural columns. Artificials are pinned to [0, 0] so a
+   basic artificial driven nonzero by the child rhs registers as a
+   violation to repair; an exhausted ratio test is a genuine infeasibility
+   certificate. *)
+let dual_phase st ~c ~max_iters ~iter_count ~deadline ~dual_pivots ~flips
+    ~refactorisations alpha =
+  let refactor_limit = min 150 (50 + (st.m / 4)) in
+  let y = Array.make st.m 0.0 in
+  let rho = Array.make st.m 0.0 in
+  let delta = Array.make st.m 0.0 in
+  let cand = Array.make st.n 0 in
+  let cand_ratio = Array.make st.n 0.0 in
+  let cand_arj = Array.make st.n 0.0 in
+  let hi_of bv = if bv < st.n then st.ubs.(bv) else 0.0 in
+  let rec loop () =
+    if !iter_count > max_iters then `Cycled
+    else begin
+      (match deadline with
+       | Some t when !iter_count land 15 = 0 && Telemetry.Clock.now_s () > t ->
+         Telemetry.count "lp.simplex.deadline_aborts";
+         raise Tableau.Deadline_exceeded
+       | Some _ | None -> ());
+      incr iter_count;
+      if st.n_etas - st.factor_etas > refactor_limit then
+        refactor st refactorisations;
+      (* Bound-ratio pricing of the infeasible basic variables. *)
+      let row = ref (-1) and score = ref 0.0 and above = ref false in
+      for i = 0 to st.m - 1 do
+        let bv = st.basis.(i) in
+        let hi = hi_of bv in
+        let viol, ab =
+          if st.x_b.(i) < -.eps then (-.st.x_b.(i), false)
+          else if st.x_b.(i) > hi +. eps then (st.x_b.(i) -. hi, true)
+          else (0.0, false)
+        in
+        if viol > 0.0 then begin
+          let w = if bv < st.n then st.weight.(bv) else 2.0 in
+          let s = viol *. viol /. w in
+          if s > !score then begin
+            row := i;
+            score := s;
+            above := ab
+          end
+        end
+      done;
+      if !row < 0 then `Primal_feasible
+      else begin
+        let r = !row in
+        let leaving = st.basis.(r) in
+        Array.fill rho 0 st.m 0.0;
+        rho.(r) <- 1.0;
+        btran st rho;
+        for i = 0 to st.m - 1 do
+          let bv = st.basis.(i) in
+          y.(i) <- (if bv < st.n then c.(bv) else 0.0)
+        done;
+        btran st y;
+        (* Collect every sign-eligible nonbasic structural column with its
+           dual ratio |d_j| / |alpha_rj|. *)
+        let ncand = ref 0 in
+        for j = 0 to st.n - 1 do
+          if st.pos.(j) < 0 && st.ubs.(j) > eps then begin
+            let arj = ref 0.0 and dj = ref c.(j) in
+            let idx = st.cidx.(j) and vl = st.cval.(j) in
+            for k = 0 to Array.length idx - 1 do
+              arj := !arj +. (vl.(k) *. rho.(idx.(k)));
+              dj := !dj -. (vl.(k) *. y.(idx.(k)))
+            done;
+            let arj = !arj in
+            let eligible =
+              if !above then
+                if st.at_ub.(j) then arj < -.eps else arj > eps
+              else if st.at_ub.(j) then arj > eps
+              else arj < -.eps
+            in
+            if eligible then begin
+              cand.(!ncand) <- j;
+              cand_ratio.(!ncand) <- Float.abs !dj /. Float.abs arj;
+              cand_arj.(!ncand) <- arj;
+              incr ncand
+            end
+          end
+        done;
+        if !ncand = 0 then `Dual_unbounded
+        else begin
+          (* Bound-flipping ratio test: walk the candidates in ratio order.
+             Passing a boxed candidate's breakpoint flips it to its other
+             bound (its reduced cost changes sign there, which is only dual
+             feasible at the opposite bound) and reduces the violation slope
+             by span * |alpha_rj|; the candidate where the slope would hit
+             zero becomes the pivot. Exhausting all breakpoints with slope
+             remaining is dual unboundedness, i.e. primal infeasibility. *)
+          let order = Array.init !ncand Fun.id in
+          Array.sort
+            (fun a b ->
+              let cr = Float.compare cand_ratio.(a) cand_ratio.(b) in
+              if cr <> 0 then cr
+              else
+                let cm =
+                  Float.compare (Float.abs cand_arj.(b))
+                    (Float.abs cand_arj.(a))
+                in
+                if cm <> 0 then cm else compare cand.(a) cand.(b))
+            order;
+          let target = if !above then hi_of leaving else 0.0 in
+          let viol = ref (Float.abs (st.x_b.(r) -. target)) in
+          let nflip = ref 0 in
+          let enter = ref (-1) in
+          let k = ref 0 in
+          while !enter < 0 && !k < !ncand do
+            let ci = order.(!k) in
+            let j = cand.(ci) in
+            let drop = st.ubs.(j) *. Float.abs cand_arj.(ci) in
+            if drop < !viol -. eps then begin
+              (* flip past this breakpoint, keep walking *)
+              order.(!nflip) <- ci;
+              incr nflip;
+              viol := !viol -. drop
+            end
+            else enter := j;
+            incr k
+          done;
+          if !enter < 0 then `Dual_unbounded
+          else begin
+            (* Apply the accumulated flips with one FTRAN: the raw flipped
+               columns sum into [delta] and x_B -= B^-1 delta. *)
+            if !nflip > 0 then begin
+              Array.fill delta 0 st.m 0.0;
+              for f = 0 to !nflip - 1 do
+                let j = cand.(order.(f)) in
+                let u = st.ubs.(j) in
+                let fstep = if st.at_ub.(j) then -.u else u in
+                let idx = st.cidx.(j) and vl = st.cval.(j) in
+                for t = 0 to Array.length idx - 1 do
+                  delta.(idx.(t)) <- delta.(idx.(t)) +. (fstep *. vl.(t))
+                done;
+                st.at_ub.(j) <- not st.at_ub.(j);
+                incr flips
+              done;
+              ftran st delta;
+              for i = 0 to st.m - 1 do
+                if Float.abs delta.(i) > eps then
+                  st.x_b.(i) <- clamp (st.x_b.(i) -. delta.(i))
+              done
+            end;
+            let j = !enter in
+            Array.fill alpha 0 st.m 0.0;
+            scatter st j alpha;
+            ftran st alpha;
+            let arj = alpha.(r) in
+            if Float.abs arj <= eps then `Numerical
+            else begin
+              let step = (st.x_b.(r) -. target) /. arj in
+              (* the pricing row (from BTRAN of e_r) and the FTRAN'd column
+                 must agree on the step direction, and after the flips the
+                 step must fit the entering span; drift on either means the
+                 eta file has gone numerically stale *)
+              let dir_ok =
+                if st.at_ub.(j) then step <= eps else step >= -.eps
+              in
+              if not dir_ok then `Numerical
+              else if
+                Float.abs step > st.ubs.(j) +. (1e-7 *. Float.max 1.0 st.ubs.(j))
+              then `Numerical
+              else begin
+                let enter_val = if st.at_ub.(j) then st.ubs.(j) else 0.0 in
+                pivot st ~row:r ~col:j ~t:step ~dir:1.0 ~enter_val alpha;
+                st.at_ub.(j) <- false;
+                if leaving < st.n then st.at_ub.(leaving) <- !above;
+                incr dual_pivots;
+                loop ()
+              end
+            end
+          end
+        end
+      end
+    end
+  in
+  loop ()
+
+let resolve_with_basis ?(max_iters = 50_000) ?deadline ~nrows:m ~cols ~b ~c
+    ~ubs ~snapshot () =
+  let n = Array.length cols in
+  if Array.length b <> m then invalid_arg "Tableau.resolve: b length";
+  if Array.length c <> n then invalid_arg "Tableau.resolve: c length";
+  if Array.length ubs <> n then invalid_arg "Tableau.resolve: ubs length";
+  if
+    Array.length snapshot.Tableau.s_basis <> m
+    || Array.length snapshot.Tableau.s_at_ub <> n
+  then invalid_arg "Tableau.resolve: snapshot shape";
+  (* A negative span means the node fixed a variable to an impossible
+     range: the subproblem is infeasible before any pivoting. *)
+  if Array.exists (function Some u -> u < -.eps | None -> false) ubs then
+    Tableau.Resolved (Tableau.Infeasible, None)
+  else begin
+    let ub_arr = Array.make n infinity in
+    Array.iteri
+      (fun j uo ->
+        match uo with Some x -> ub_arr.(j) <- Float.max x 0.0 | None -> ())
+      ubs;
+    let cidx = Array.map (fun col -> Array.map fst col) cols in
+    let cval = Array.map (fun col -> Array.map snd col) cols in
+    let weight =
+      Array.map
+        (fun vl -> Array.fold_left (fun acc x -> acc +. (x *. x)) 1.0 vl)
+        cval
+    in
+    let basis = Array.copy snapshot.Tableau.s_basis in
+    let at_ub = Array.copy snapshot.Tableau.s_at_ub in
+    let pos = Array.make (n + m) (-1) in
+    let sane = ref true in
+    Array.iteri
+      (fun i colid ->
+        if colid < 0 || colid >= n + m || pos.(colid) >= 0 then sane := false
+        else pos.(colid) <- i)
+      basis;
+    for j = 0 to n - 1 do
+      if at_ub.(j) && (pos.(j) >= 0 || ub_arr.(j) = infinity) then
+        at_ub.(j) <- false
+    done;
+    if not !sane then Tableau.Stale "corrupt basis snapshot"
+    else begin
+      let st =
+        {
+          m;
+          n;
+          cidx;
+          cval;
+          ubs = ub_arr;
+          at_ub;
+          weight;
+          basis;
+          pos;
+          x_b = Array.make m 0.0;
+          b = Array.copy b;
+          etas = [| dummy_eta |];
+          n_etas = 0;
+          factor_etas = 0;
+        }
+      in
+      let pivots = ref 0
+      and bland_pivots = ref 0
+      and flips = ref 0
+      and dual_pivots = ref 0
+      and refactorisations = ref 0 in
+      let flush () =
+        Telemetry.count "lp.simplex.warm_solves";
+        Telemetry.count ~by:!pivots "lp.simplex.pivots";
+        Telemetry.count ~by:!dual_pivots "lp.simplex.dual_pivots";
+        Telemetry.count ~by:!bland_pivots "lp.simplex.bland_pivots";
+        Telemetry.count ~by:!flips "lp.simplex.bound_flips";
+        Telemetry.count ~by:!refactorisations "lp.simplex.refactorisations"
+      in
+      Fun.protect ~finally:flush @@ fun () ->
+      let iter_count = ref 0 in
+      let alpha = Array.make m 0.0 in
+      match
+        (try
+           refactor st refactorisations;
+           dual_phase st ~c ~max_iters ~iter_count ~deadline ~dual_pivots
+             ~flips ~refactorisations alpha
+         with Failure msg -> `Failed msg)
+      with
+      | `Failed msg -> Tableau.Stale msg
+      | `Cycled -> Tableau.Stale "dual iteration limit"
+      | `Numerical -> Tableau.Stale "dual numerical drift"
+      | `Dual_unbounded -> Tableau.Resolved (Tableau.Infeasible, None)
+      | `Primal_feasible -> (
+        (* Primal clean-up: the dual phase ends primal feasible, and any
+           residual dual infeasibility is polished off by ordinary phase-2
+           pivots. *)
+        match
+          (try
+             run_phase st ~c ~phase2:true ~max_iters ~iter_count ~deadline
+               ~pivots ~bland_pivots ~flips ~refactorisations alpha
+           with Failure msg -> `Failed msg)
+        with
+        | `Failed msg -> Tableau.Stale msg
+        | `Unbounded -> Tableau.Resolved (Tableau.Unbounded, None)
+        | `Optimal ->
+          (* Accuracy cross-check before trusting the inherited basis: the
+             resolved point must satisfy the bound system and A x = b. *)
+          let tol = 1e-7 in
+          let x = Array.make n 0.0 in
+          for j = 0 to n - 1 do
+            if st.pos.(j) < 0 && st.at_ub.(j) then x.(j) <- st.ubs.(j)
+          done;
+          let ok = ref true in
+          for i = 0 to m - 1 do
+            let bv = st.basis.(i) in
+            if bv < n then begin
+              x.(bv) <- st.x_b.(i);
+              if st.x_b.(i) < -.tol then ok := false;
+              if st.x_b.(i) -. st.ubs.(bv) > tol then ok := false
+            end
+            else if Float.abs st.x_b.(i) > tol then ok := false
+          done;
+          let resid = Array.copy st.b in
+          for j = 0 to n - 1 do
+            let xj = x.(j) in
+            if Float.abs xj > 0.0 then begin
+              let idx = st.cidx.(j) and vl = st.cval.(j) in
+              for k = 0 to Array.length idx - 1 do
+                resid.(idx.(k)) <- resid.(idx.(k)) -. (vl.(k) *. xj)
+              done
+            end
+          done;
+          let scale =
+            Array.fold_left (fun acc bi -> Float.max acc (Float.abs bi)) 1.0 st.b
+          in
+          Array.iter
+            (fun ri -> if Float.abs ri > 1e-6 *. scale then ok := false)
+            resid;
+          if not !ok then Tableau.Stale "warm solve lost accuracy"
+          else begin
+            let value = ref 0.0 in
+            for j = 0 to n - 1 do
+              value := !value +. (c.(j) *. x.(j))
+            done;
+            Tableau.Resolved
+              ( Tableau.Optimal (!value, x),
+                Some
+                  {
+                    Tableau.s_basis = Array.copy st.basis;
+                    s_at_ub = Array.copy st.at_ub;
+                  } )
+          end)
+    end
+  end
+
+let solve_cols ?(max_iters = 50_000) ?deadline ?ubs ?snapshot_out ~nrows:m
+    ~cols ~b ~c () =
   let n = Array.length cols in
   if Array.length b <> m then invalid_arg "Tableau.solve: b length";
   if Array.length c <> n then invalid_arg "Tableau.solve: c length";
@@ -515,6 +854,15 @@ let solve_cols ?(max_iters = 50_000) ?deadline ?ubs ~nrows:m ~cols ~b ~c () =
       with
       | `Unbounded -> Tableau.Unbounded
       | `Optimal ->
+        (match snapshot_out with
+         | Some cell ->
+           cell :=
+             Some
+               {
+                 Tableau.s_basis = Array.copy st.basis;
+                 s_at_ub = Array.copy st.at_ub;
+               }
+         | None -> ());
         let x = Array.make n 0.0 in
         for j = 0 to n - 1 do
           if st.pos.(j) < 0 && st.at_ub.(j) then x.(j) <- st.ubs.(j)

@@ -14,6 +14,7 @@ val solve_cols :
   ?max_iters:int ->
   ?deadline:float ->
   ?ubs:float option array ->
+  ?snapshot_out:Tableau.snapshot option ref ->
   nrows:int ->
   cols:(int * float) array array ->
   b:float array ->
@@ -21,4 +22,22 @@ val solve_cols :
   unit ->
   float Tableau.result
 (** Contract of [Tableau.Make(Field.Approx).solve_cols], including the
-    telemetry counters and {!Tableau.Deadline_exceeded}. *)
+    telemetry counters, {!Tableau.Deadline_exceeded} and the [snapshot_out]
+    basis capture for {!resolve_with_basis}. *)
+
+val resolve_with_basis :
+  ?max_iters:int ->
+  ?deadline:float ->
+  nrows:int ->
+  cols:(int * float) array array ->
+  b:float array ->
+  c:float array ->
+  ubs:float option array ->
+  snapshot:Tableau.snapshot ->
+  unit ->
+  float Tableau.resolve
+(** Contract of [Tableau.Make(Field.Approx).resolve_with_basis]: dual-simplex
+    warm re-solve from a parent basis under a changed rhs / bound vector,
+    with the accuracy cross-check and [Stale] fallback signalling. [b]
+    entries may be negative and [ubs] entries zero (a variable fixed by
+    branching); negative spans report [Infeasible] immediately. *)

@@ -112,6 +112,32 @@ let test_solve_and_extract_component () =
     in
     check bool "makespan sane" true (fixed_makespan >= 17 && fixed_makespan <= IM.horizon built)
 
+let test_domains_agree_on_assay () =
+  (* Domain count must not leak into results: on an example-assay layer
+     model solved to completion, 1 and 4 domains return the same status and
+     objective. *)
+  let a, _, _, _ = small_assay () in
+  let spec = spec_of a ~slots:(free_slots 3) ~rule:Cohls.Binding.Component_oriented in
+  let solve domains =
+    let built = IM.build spec in
+    let options =
+      {
+        Lp.Branch_bound.default_options with
+        Lp.Branch_bound.time_limit = Some 30.0;
+        domains;
+      }
+    in
+    Lp.Branch_bound.solve ~options (IM.model built)
+  in
+  let r1 = solve 1 and r4 = solve 4 in
+  check bool "same status" true
+    (r1.Lp.Branch_bound.status = r4.Lp.Branch_bound.status);
+  match (r1.Lp.Branch_bound.objective, r4.Lp.Branch_bound.objective) with
+  | Some o1, Some o4 ->
+    check bool "same objective" true (Float.abs (o1 -. o4) < 1e-6)
+  | None, None -> ()
+  | _, _ -> Alcotest.fail "one domain count found a solution, the other did not"
+
 let test_exact_rule_needs_more_devices () =
   let _, _, _, result_c = solve_small Cohls.Binding.Component_oriented in
   let _, _, built_e, result_e = solve_small Cohls.Binding.Exact_signature in
@@ -332,6 +358,8 @@ let () =
         [
           Alcotest.test_case "solve + extract (component rule)" `Slow
             test_solve_and_extract_component;
+          Alcotest.test_case "domains 1 and 4 agree on assay" `Slow
+            test_domains_agree_on_assay;
           Alcotest.test_case "exact rule device count" `Slow
             test_exact_rule_needs_more_devices;
           Alcotest.test_case "warm start is feasible" `Quick test_warm_start_feasible;

@@ -237,6 +237,55 @@ let prop_exact_matches_float =
       | S.Infeasible, S.Infeasible | S.Unbounded, S.Unbounded -> true
       | _, _ -> false)
 
+(* A warm dual re-solve after a bound change must land on the same optimum
+   as a cold solve of the changed model. Rows are [<= b] with [b >= 0] and
+   variables live in [0, 50], so the origin stays feasible under any
+   tightened upper bound and both solves are always [Optimal]. *)
+let arb_lp_rebound =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 4 >>= fun nvars ->
+      int_range 1 5 >>= fun nrows ->
+      let coeff = int_range (-5) 5 in
+      list_size (return nrows)
+        (pair (list_size (return nvars) coeff) (int_range 0 20))
+      >>= fun rows ->
+      list_size (return nvars) coeff >>= fun obj ->
+      int_range 0 (nvars - 1) >>= fun vi ->
+      int_range 0 50 >>= fun new_ub -> return ((nvars, rows, obj), vi, new_ub))
+  in
+  QCheck.make gen ~print:(fun ((n, rows, obj), vi, new_ub) ->
+      Printf.sprintf "n=%d rows=%s obj=%s change x%d.ub=%d" n
+        (String.concat ";"
+           (List.map
+              (fun (cs, b) ->
+                String.concat "," (List.map string_of_int cs) ^ "<=" ^ string_of_int b)
+              rows))
+        (String.concat "," (List.map string_of_int obj))
+        vi new_ub)
+
+let prop_warm_resolve_matches_cold =
+  QCheck.Test.make ~name:"warm dual re-solve matches cold optimum" ~count:150
+    arb_lp_rebound (fun ((nvars, _, _) as spec, vi, new_ub) ->
+      let m = build_lp spec in
+      let cell = S.new_basis () in
+      match S.solve_relaxation_float ~basis:cell m with
+      | S.Infeasible | S.Unbounded -> false (* the box forbids both *)
+      | S.Optimal _ ->
+        let bounds =
+          Array.init nvars (fun i ->
+              let ub = if i = vi then new_ub else 50 in
+              (Some Q.zero, Some (Q.of_int ub)))
+        in
+        (* the cell now holds the optimal basis of the unchanged model;
+           re-solving under [bounds] exercises the dual repair path *)
+        let warm = S.solve_relaxation_float ~bounds ~basis:cell m in
+        let cold = S.solve_relaxation_float ~bounds m in
+        (match (warm, cold) with
+         | S.Optimal { objective = w; _ }, S.Optimal { objective = c; _ } ->
+           Float.abs (w -. c) < 1e-6
+         | _, _ -> false))
+
 (* ---------- Presolve ---------- *)
 
 let test_presolve_tightens () =
@@ -453,6 +502,46 @@ let prop_bb_matches_brute_force =
         Float.abs (obj -. float_of_int (brute_knapsack items capacity)) < 1e-6
       | None -> false)
 
+(* The parallel tree search must be a pure implementation detail: on models
+   solved to completion, 1 domain and 4 domains return the same status and
+   optimum. Reuses the boxed-ILP generator, so every run terminates. *)
+let prop_bb_domains_agree =
+  QCheck.Test.make ~name:"domains=1 and domains=4 agree" ~count:60 arb_ilp
+    (fun spec ->
+      let solve_with domains =
+        BB.solve ~options:{ BB.default_options with BB.domains } (build_ilp spec)
+      in
+      let r1 = solve_with 1 and r4 = solve_with 4 in
+      r1.BB.status = r4.BB.status
+      &&
+      match (r1.BB.objective, r4.BB.objective) with
+      | Some o1, Some o4 -> Float.abs (o1 -. o4) < 1e-6
+      | None, None -> true
+      | _, _ -> false)
+
+(* Under the synchronous-wave deterministic mode, even *budget-stopped*
+   searches must agree across domain counts, bit for bit: a tiny node limit
+   forces most runs to stop mid-tree. *)
+let prop_bb_deterministic_budget_stable =
+  QCheck.Test.make ~name:"deterministic mode is budget-stable across domains"
+    ~count:60 arb_ilp (fun spec ->
+      let solve_with domains =
+        BB.solve
+          ~options:
+            {
+              BB.default_options with
+              BB.domains;
+              deterministic = true;
+              node_limit = Some 7;
+            }
+          (build_ilp spec)
+      in
+      let r1 = solve_with 1 and r4 = solve_with 4 in
+      r1.BB.status = r4.BB.status
+      && r1.BB.objective = r4.BB.objective
+      && r1.BB.values = r4.BB.values
+      && r1.BB.nodes = r4.BB.nodes)
+
 let () =
   let qsuite tests = List.map QCheck_alcotest.to_alcotest tests in
   Alcotest.run "lp"
@@ -481,7 +570,8 @@ let () =
           Alcotest.test_case "crossed bounds" `Quick test_simplex_crossed_bounds;
           Alcotest.test_case "degenerate (Beale)" `Quick test_simplex_degenerate;
         ] );
-      ("simplex-props", qsuite [ prop_exact_matches_float ]);
+      ( "simplex-props",
+        qsuite [ prop_exact_matches_float; prop_warm_resolve_matches_cold ] );
       ( "presolve",
         [
           Alcotest.test_case "tightens bounds" `Quick test_presolve_tightens;
@@ -498,5 +588,11 @@ let () =
           Alcotest.test_case "node limit keeps incumbent" `Quick test_bb_node_limit;
           Alcotest.test_case "minimisation" `Quick test_bb_minimize;
         ] );
-      ("bb-props", qsuite [ prop_bb_matches_brute_force ]);
+      ( "bb-props",
+        qsuite
+          [
+            prop_bb_matches_brute_force;
+            prop_bb_domains_agree;
+            prop_bb_deterministic_budget_stable;
+          ] );
     ]
